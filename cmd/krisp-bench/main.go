@@ -1,0 +1,54 @@
+// Command krisp-bench regenerates the paper's evaluation tables and
+// figures on the simulated MI50 stack.
+//
+// Usage:
+//
+//	krisp-bench -exp all            # every experiment
+//	krisp-bench -exp fig13a         # one experiment
+//	krisp-bench -exp table3,fig8    # a comma-separated subset
+//	krisp-bench -quick              # shrunken sweeps for a fast smoke run
+//	krisp-bench -list               # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"krisp/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id(s), comma-separated, or 'all'")
+		quick = flag.Bool("quick", false, "shrink sweeps and model sets for a fast run")
+		seed  = flag.Int64("seed", 42, "simulation jitter seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := bench.Experiments()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+
+	h := bench.New(bench.Options{Seed: *seed, Quick: *quick})
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		if err := h.Run(id, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,36 @@
+// Command krisp-httpd serves the KRISP control-plane API over HTTP:
+// workload inventory, kernel profiles, serving simulations, and the
+// paper's experiments.
+//
+// Usage:
+//
+//	krisp-httpd -addr :8080
+//
+//	curl localhost:8080/v1/models
+//	curl localhost:8080/v1/profile?model=albert
+//	curl -d '{"model":"squeezenet","policy":"krisp-i","workers":4}' localhost:8080/v1/simulate
+//	curl localhost:8080/v1/experiments/fig13a
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"krisp/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      httpapi.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 15 * time.Minute, // full experiments take minutes
+	}
+	log.Printf("krisp-httpd listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,79 @@
+// Command krisp-profile runs KRISP's install-time profiling step: it
+// measures every kernel variant of the requested models on the simulated
+// MI50 and writes the Required CUs table (the performance database the
+// runtime consults at each kernel launch) as JSON.
+//
+// Usage:
+//
+//	krisp-profile                        # profile all models to stdout
+//	krisp-profile -models albert,vgg19   # a subset
+//	krisp-profile -batch 16 -o perf.json # different batch, to a file
+//	krisp-profile -model-summary         # per-model right-size summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"krisp/internal/models"
+	"krisp/internal/profile"
+)
+
+func main() {
+	var (
+		modelList = flag.String("models", "all", "comma-separated model names, or 'all'")
+		batch     = flag.Int("batch", models.CalibrationBatch, "batch size to profile at")
+		out       = flag.String("o", "-", "output path for the JSON database ('-' = stdout)")
+		summary   = flag.Bool("model-summary", false, "print per-model right-size instead of the kernel DB")
+	)
+	flag.Parse()
+
+	var selected []models.Model
+	if *modelList == "all" {
+		selected = models.All()
+	} else {
+		for _, name := range strings.Split(*modelList, ",") {
+			m, ok := models.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown model %q; available: %v\n", name, models.Names())
+				os.Exit(2)
+			}
+			selected = append(selected, m)
+		}
+	}
+
+	p := profile.New(profile.DefaultConfig())
+
+	if *summary {
+		fmt.Printf("%-14s %8s %12s %14s\n", "model", "kernels", "right-size", "isolated ms")
+		for _, m := range selected {
+			ks := m.Kernels(*batch)
+			fmt.Printf("%-14s %8d %12d %14.1f\n",
+				m.Name, len(ks), p.ModelRightSize(ks), float64(p.ModelLatency(ks, 60))/1000)
+		}
+		return
+	}
+
+	db := profile.NewDB()
+	for _, m := range selected {
+		db.Profile(p, m.Kernels(*batch))
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := db.Save(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "profiled %d kernel variants\n", db.Len())
+}

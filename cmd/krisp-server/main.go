@@ -1,0 +1,108 @@
+// Command krisp-server runs one inference-serving scenario on the
+// simulated GPU stack and reports throughput, tail latency, and energy.
+//
+// Usage:
+//
+//	krisp-server -model squeezenet -workers 4 -policy krisp-i
+//	krisp-server -model albert,vgg19 -policy model-right-size
+//	krisp-server -model resnet152 -workers 2 -policy krisp-i -trace trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"krisp/internal/models"
+	"krisp/internal/policies"
+	"krisp/internal/server"
+	"krisp/internal/trace"
+)
+
+func main() {
+	var (
+		modelList = flag.String("model", "squeezenet", "model name(s), comma-separated; multiple names co-locate one worker each")
+		workers   = flag.Int("workers", 2, "workers per listed model")
+		policy    = flag.String("policy", "krisp-i", "partitioning policy: mps-default|static-equal|model-right-size|krisp-o|krisp-i")
+		batch     = flag.Int("batch", models.CalibrationBatch, "request batch size")
+		seed      = flag.Int64("seed", 42, "jitter seed")
+		emulate   = flag.Bool("emulate", false, "use the emulated (stream-masking) KRISP path instead of native support")
+		traceOut  = flag.String("trace", "", "write worker 0's kernel trace CSV to this path")
+		gpus      = flag.Int("gpus", 1, "number of devices (workers spread round-robin)")
+		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed-loop max load)")
+	)
+	flag.Parse()
+
+	kind, err := policies.ByName(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var specs []server.WorkerSpec
+	for _, name := range strings.Split(*modelList, ",") {
+		m, ok := models.ByName(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown model %q; available: %v\n", name, models.Names())
+			os.Exit(2)
+		}
+		for i := 0; i < *workers; i++ {
+			specs = append(specs, server.WorkerSpec{Model: m, Batch: *batch})
+		}
+	}
+
+	var tr *trace.Trace
+	if *traceOut != "" {
+		tr = &trace.Trace{}
+	}
+
+	cfg := server.Config{
+		Policy:         kind,
+		GPUs:           *gpus,
+		Workers:        specs,
+		Seed:           *seed,
+		ForceEmulation: *emulate,
+		Trace:          tr,
+	}
+	var res server.Result
+	if *rate > 0 {
+		open := server.RunOpenLoop(cfg, server.Arrival{RatePerSec: *rate})
+		res = open.Result
+		fmt.Printf("open loop:           offered %.0f req/s, completed %.0f req/s, request p95 %.1f ms\n",
+			open.Offered, open.Completed, open.RequestLatency.P95()/1000)
+	} else {
+		res = server.Run(cfg)
+	}
+
+	fmt.Printf("policy:              %s\n", kind.Label())
+	fmt.Printf("workers:             %d (batch %d)\n", len(specs), *batch)
+	fmt.Printf("measurement window:  %.1f virtual ms\n", res.WindowUs/1000)
+	fmt.Printf("aggregate RPS:       %.1f\n", res.RPS)
+	fmt.Printf("energy/inference:    %.4f J\n", res.EnergyPerInference)
+	fmt.Printf("avg busy CUs:        %.1f / 60\n", res.AvgBusyCUs)
+	if res.Oversubscribed {
+		fmt.Println("note: model-wise partitions oversubscribe the device")
+	}
+	fmt.Println()
+	fmt.Printf("%-4s %-14s %9s %9s %10s %10s\n", "#", "model", "batches", "requests", "p95 ms", "mean ms")
+	for i := range res.Workers {
+		ws := &res.Workers[i]
+		fmt.Printf("%-4d %-14s %9d %9d %10.1f %10.1f\n",
+			i, ws.Model, ws.Batches, ws.Requests, ws.P95()/1000, ws.BatchLatency.Mean()/1000)
+	}
+
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tr.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d kernel trace records to %s\n", tr.Len(), *traceOut)
+	}
+}

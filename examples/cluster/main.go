@@ -1,0 +1,71 @@
+// Cluster: plan a multi-model serving fleet the way prior works'
+// schedulers do (Gpulet-style sizing + packing), watch the plan chase a
+// diurnal load trace, and compare the reconfiguration bill between
+// process-scoped shadow reloads and KRISP's kernel-scoped instances.
+//
+// Run with:
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"krisp/internal/models"
+	"krisp/internal/profile"
+	"krisp/internal/reconfig"
+	"krisp/internal/sched"
+)
+
+func main() {
+	planner := sched.NewPlanner(profile.DefaultConfig())
+
+	pick := func(name string) models.Model {
+		m, ok := models.ByName(name)
+		if !ok {
+			log.Fatalf("model %s not found", name)
+		}
+		return m
+	}
+	demands := []sched.Demand{
+		{Model: pick("albert"), Batch: 32},
+		{Model: pick("squeezenet"), Batch: 32},
+		{Model: pick("resnext101"), Batch: 32},
+	}
+
+	// One plan at a fixed operating point.
+	for i, rate := range []float64{900, 5000, 300} {
+		demands[i].RatePerSec = rate
+	}
+	plan := planner.Plan(demands, 4)
+	fmt.Printf("operating point (900/5000/300 rps) -> %d gpulets on %d GPU(s), feasible=%v\n",
+		len(plan.Gpulets), plan.GPUs, plan.Feasible)
+	for _, g := range plan.Gpulets {
+		fmt.Printf("  %v\n", g)
+	}
+
+	// A day compressed into six epochs.
+	trace := [][]float64{
+		{300, 1500, 100},
+		{900, 5000, 300},
+		{1500, 9000, 500},
+		{2000, 12000, 700},
+		{1200, 7000, 400},
+		{300, 1500, 100},
+	}
+	plans, report := planner.ReplanTrace(demands, trace, 4, reconfig.DefaultCosts())
+	fmt.Printf("\ndiurnal trace, %d epochs:\n", len(plans))
+	for e, p := range plans {
+		cus := 0
+		for g := 0; g < p.GPUs; g++ {
+			cus += p.TotalCUs(g)
+		}
+		fmt.Printf("  epoch %d: rates %v -> %d gpulets, %d GPUs, %d CUs\n",
+			e, trace[e], len(p.Gpulets), p.GPUs, cus)
+	}
+	fmt.Printf("\n%d instance resizes across the day\n", report.Resizes)
+	fmt.Printf("process-scoped (shadow) reload bill: %.1f s\n", float64(report.ProcessScopedReload)/1e6)
+	fmt.Printf("kernel-scoped (KRISP) reload bill:   %.0f s — resizes land at the next kernel\n",
+		float64(report.KernelScopedReload)/1e6)
+}

@@ -1,0 +1,66 @@
+// Colocation: mix two different inference models on one GPU — the paper's
+// Fig. 15 scenario — and compare how each partitioning policy shares the
+// device between a latency-light transformer (albert) and a CU-hungry
+// CNN (resnext101).
+//
+// Run with:
+//
+//	go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"krisp/internal/models"
+	"krisp/internal/policies"
+	"krisp/internal/server"
+)
+
+func main() {
+	albert, ok := models.ByName("albert")
+	if !ok {
+		log.Fatal("albert not found")
+	}
+	resnext, ok := models.ByName("resnext101")
+	if !ok {
+		log.Fatal("resnext101 not found")
+	}
+	const batch = 32
+
+	// Isolated baselines for normalization.
+	isoA := server.Run(server.Config{
+		Policy:  policies.MPSDefault,
+		Workers: []server.WorkerSpec{{Model: albert, Batch: batch}},
+		Seed:    1,
+	})
+	isoR := server.Run(server.Config{
+		Policy:  policies.MPSDefault,
+		Workers: []server.WorkerSpec{{Model: resnext, Batch: batch}},
+		Seed:    1,
+	})
+	fmt.Printf("isolated: albert %.0f req/s (p95 %.0fms), resnext101 %.0f req/s (p95 %.0fms)\n\n",
+		isoA.RPS, isoA.MaxP95()/1000, isoR.RPS, isoR.MaxP95()/1000)
+
+	fmt.Printf("%-18s %14s %14s %12s %14s\n",
+		"policy", "albert rel.", "resnext rel.", "sum", "worst p95 ms")
+	for _, policy := range policies.All() {
+		res := server.Run(server.Config{
+			Policy: policy,
+			Workers: []server.WorkerSpec{
+				{Model: albert, Batch: batch},
+				{Model: resnext, Batch: batch},
+			},
+			Seed: 1,
+		})
+		relA := rps(res, 0) / isoA.RPS
+		relR := rps(res, 1) / isoR.RPS
+		fmt.Printf("%-18s %14.2f %14.2f %12.2f %14.0f\n",
+			policy.Label(), relA, relR, relA+relR, res.MaxP95()/1000)
+	}
+	fmt.Println("\nrel. = worker throughput relative to its model running alone; sum 2.0 = no interference")
+}
+
+func rps(res server.Result, worker int) float64 {
+	return float64(res.Workers[worker].Requests) / float64(res.WindowUs) * 1e6
+}

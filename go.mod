@@ -1,0 +1,3 @@
+module krisp
+
+go 1.22

@@ -1,0 +1,253 @@
+// Package alloc implements KRISP's partition resource allocation: given a
+// requested partition size (number of CUs), the device topology, and the
+// per-CU kernel counters from the Resource Monitor, it generates the kernel
+// resource mask the packet processor tags onto the dispatch.
+//
+// Three CU-distribution policies are provided (paper §IV-C, Fig. 7):
+//
+//   - Distributed: spread the allocation equally across all SEs (the
+//     default hardware behaviour). Suffers when the allocation is smaller
+//     than one CU per SE-share — dips at 15, 11, 7 CUs on the MI50.
+//   - Packed: fill one SE completely before spilling into the next.
+//     Suffers whenever an SE is left nearly empty — spikes at 16, 31, 46.
+//   - Conserved: use the minimum number of SEs that satisfies the request
+//     and spread evenly across them. Avoids both pitfalls; KRISP adopts it.
+//
+// GenerateMask is a faithful implementation of the paper's Algorithm 1,
+// including the overlap limit: CUs already running kernels count as
+// "overlapped", and once the limit is exceeded further busy CUs are skipped
+// (consuming allocation budget without setting the bit, exactly as the
+// pseudocode does), so a constrained allocation can return fewer CUs than
+// requested — this is the KRISP-I behaviour of granting only what is
+// isolatable.
+package alloc
+
+import (
+	"sort"
+
+	"krisp/internal/gpu"
+)
+
+// Policy selects how CUs are distributed across shader engines.
+type Policy int
+
+const (
+	// Conserved uses the fewest SEs that satisfy the request, evenly.
+	Conserved Policy = iota
+	// Distributed spreads the request across all SEs evenly.
+	Distributed
+	// Packed fills SEs one at a time.
+	Packed
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Conserved:
+		return "conserved"
+	case Distributed:
+		return "distributed"
+	case Packed:
+		return "packed"
+	default:
+		return "unknown"
+	}
+}
+
+// NoOverlapLimit disables the overlap limit: every CU may be shared.
+// Passing it as overlapLimit yields KRISP-O behaviour.
+const NoOverlapLimit = int(^uint(0) >> 1)
+
+// Request describes one allocation.
+type Request struct {
+	// NumCUs is the partition size from kernel-wise right-sizing.
+	NumCUs int
+	// OverlapLimit is the maximum number of allocated CUs that may already
+	// have kernels assigned. 0 = full isolation (KRISP-I),
+	// NoOverlapLimit = unrestricted (KRISP-O).
+	OverlapLimit int
+	// Policy is the SE distribution policy. The zero value is Conserved,
+	// the policy KRISP adopts.
+	Policy Policy
+	// MinGrant is a progress floor: if the overlap limit leaves the
+	// allocation below min(NumCUs, MinGrant), the shortfall is filled with
+	// overlapped least-loaded CUs regardless of the limit. The command
+	// processor passes the kernel's fair share (totalCUs / active kernels)
+	// here so a starved stream degrades to time-shared fairness instead of
+	// crawling on whatever scraps are free.
+	MinGrant int
+}
+
+// GenerateMask runs Algorithm 1 and returns the kernel resource mask.
+// counters must have one entry per physical CU (the Resource Monitor
+// state); a nil counters slice means an idle device.
+//
+// The mask is never empty: if the overlap limit filtered out every
+// candidate (all CUs busy under KRISP-I), the single least-loaded CU is
+// granted so the kernel can make progress. The paper's evaluation implies
+// the same floor ("we allocate only what is available").
+func GenerateMask(topo gpu.Topology, counters []int, req Request) gpu.CUMask {
+	total := topo.TotalCUs()
+	numCUs := req.NumCUs
+	if numCUs < 1 {
+		numCUs = 1
+	}
+	if numCUs > total {
+		numCUs = total
+	}
+	if counters == nil {
+		counters = make([]int, total)
+	}
+
+	// Isolation-seeking requests (a finite overlap limit) exceed the fair
+	// share only when the full request fits in currently free CUs:
+	// "allocate only what is available". Without the cap, early
+	// requesters hoard CUs and force later ones into saturating overlap;
+	// a partial surplus (free CUs above fair but below the request) is
+	// left for other streams, so concurrent streams converge to an even
+	// split while a lone stream still gets its full request.
+	if req.MinGrant > 0 && req.OverlapLimit < total &&
+		numCUs > req.MinGrant && numCUs > FreeCUs(counters) {
+		numCUs = req.MinGrant
+	}
+
+	quotas := seQuotas(topo, numCUs, req.Policy)
+
+	// Select SEs ordered by total assigned kernels, least-loaded first
+	// (Algorithm 1 lines 4-8). Ties break on SE id for determinism.
+	type seLoad struct{ se, load int }
+	loads := make([]seLoad, topo.NumSEs)
+	for se := 0; se < topo.NumSEs; se++ {
+		sum := 0
+		for c := 0; c < topo.CUsPerSE; c++ {
+			sum += counters[topo.CUIndex(se, c)]
+		}
+		loads[se] = seLoad{se, sum}
+	}
+	sort.SliceStable(loads, func(i, j int) bool { return loads[i].load < loads[j].load })
+
+	var mask gpu.CUMask
+	allocated := 0
+	overlapped := 0
+	for i := 0; i < len(quotas) && allocated < numCUs; i++ {
+		se := loads[i].se
+		// Within the SE, order CUs by assigned-kernel count (line 12).
+		cus := make([]int, topo.CUsPerSE)
+		for c := 0; c < topo.CUsPerSE; c++ {
+			cus[c] = topo.CUIndex(se, c)
+		}
+		sort.SliceStable(cus, func(a, b int) bool { return counters[cus[a]] < counters[cus[b]] })
+
+		take := quotas[i]
+		if rem := numCUs - allocated; take > rem {
+			take = rem
+		}
+		for j := 0; j < take && allocated < numCUs; j++ {
+			cu := cus[j]
+			busy := counters[cu] > 0
+			if busy {
+				overlapped++
+			}
+			if !busy || overlapped <= req.OverlapLimit {
+				mask = mask.Set(cu)
+			}
+			// Budget is consumed whether or not the bit was set — the
+			// Algorithm 1 quirk that makes constrained allocations
+			// smaller than requested instead of hunting further.
+			allocated++
+		}
+	}
+
+	// Progress floor. If the overlap limit starved the allocation (below
+	// MinGrant, or empty outright), extend it with overlapped
+	// least-loaded CUs: a real command processor must still dispatch the
+	// kernel, and a near-empty grant would pin the stream to scraps for
+	// the kernel's whole lifetime. This is the "allocate only what is
+	// available" clause of the paper's KRISP-I description, taken at the
+	// point where "available" becomes the time-shared machine.
+	floor := req.MinGrant
+	if floor > numCUs {
+		floor = numCUs
+	}
+	if mask.IsEmpty() && floor < 1 {
+		floor = numCUs
+	}
+	// A grant moderately below the fair share costs little (wave counts
+	// quantize), while overlapping poisons both kernels on the shared
+	// CUs, so the overlapped extension only fires when the isolated grant
+	// fell below half the floor — the genuine starvation cases.
+	floor = (floor + 1) / 2
+	if short := floor - mask.Count(); short > 0 {
+		tmp := make([]int, len(counters))
+		copy(tmp, counters)
+		for _, cu := range mask.CUs() {
+			tmp[cu] += busyMark
+		}
+		extra := GenerateMask(topo, tmp, Request{
+			NumCUs:       short,
+			OverlapLimit: NoOverlapLimit,
+			Policy:       req.Policy,
+		})
+		mask = mask.Or(extra)
+	}
+	return mask
+}
+
+// busyMark biases already-granted CUs so the floor extension prefers other
+// CUs; it is large enough to outrank any realistic kernel count.
+const busyMark = 1 << 20
+
+// seQuotas returns the per-selected-SE CU quotas for a request of numCUs
+// under the given policy (Algorithm 1 lines 2-3 for Conserved; the
+// Distributed/Packed variants of Fig. 7).
+//
+// Algorithm 1's pseudocode uses cu_per_se = ceil(num_cus/num_se) for every
+// SE with the last SE absorbing the shortfall, which can leave a 2-CU
+// imbalance (e.g. 40 CUs -> 14/14/12). The paper's prose says "evenly
+// distribute across those SEs" and Fig. 8's smooth Conserved curve matches
+// the even split, so we use floor+remainder quotas (40 -> 14/13/13).
+func seQuotas(topo gpu.Topology, numCUs int, p Policy) []int {
+	var numSE int
+	switch p {
+	case Distributed:
+		numSE = topo.NumSEs
+		if numCUs < numSE {
+			numSE = numCUs
+		}
+	case Packed:
+		quotas := make([]int, ceilDiv(numCUs, topo.CUsPerSE))
+		left := numCUs
+		for i := range quotas {
+			take := topo.CUsPerSE
+			if take > left {
+				take = left
+			}
+			quotas[i] = take
+			left -= take
+		}
+		return quotas
+	default: // Conserved
+		numSE = ceilDiv(numCUs, topo.CUsPerSE)
+	}
+	quotas := make([]int, numSE)
+	base, extra := numCUs/numSE, numCUs%numSE
+	for i := range quotas {
+		quotas[i] = base
+		if i < extra {
+			quotas[i]++
+		}
+	}
+	return quotas
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// FreeCUs returns the number of CUs with no kernels assigned.
+func FreeCUs(counters []int) int {
+	n := 0
+	for _, c := range counters {
+		if c == 0 {
+			n++
+		}
+	}
+	return n
+}

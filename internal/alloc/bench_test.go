@@ -1,0 +1,36 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"krisp/internal/gpu"
+)
+
+// BenchmarkGenerateMask measures Algorithm 1 under a realistic counter
+// state — the paper reports a ~1us firmware tail for this operation; the
+// software implementation should be comfortably inside that.
+func BenchmarkGenerateMask(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	counters := make([]int, 60)
+	for i := range counters {
+		counters[i] = rng.Intn(3)
+	}
+	req := Request{NumCUs: 22, OverlapLimit: 0, MinGrant: 15}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = GenerateMask(gpu.MI50, counters, req)
+	}
+}
+
+func BenchmarkGenerateMaskOversubscribed(b *testing.B) {
+	counters := make([]int, 60)
+	for i := range counters {
+		counters[i] = 2
+	}
+	req := Request{NumCUs: 40, OverlapLimit: NoOverlapLimit}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = GenerateMask(gpu.MI50, counters, req)
+	}
+}

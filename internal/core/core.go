@@ -1,0 +1,302 @@
+// Package core is KRISP itself: programmer-transparent kernel-wise
+// right-sizing layered into the GPU runtime (paper §IV, Fig. 5).
+//
+// A Runtime wraps one HSA queue (one inference stream). Every kernel call
+// from the ML framework is intercepted, its minimum required CUs looked up
+// in the profiled performance database, and the partition enforced through
+// one of three paths:
+//
+//   - ModeNative — the proposed hardware: the partition size rides in the
+//     extended AQL packet and the packet processor generates the kernel
+//     resource mask (kernel-scoped partition instance, Fig. 10b).
+//   - ModeEmulated — the paper's evaluation vehicle on real hardware
+//     (Fig. 11): two barrier packets bracket each kernel; the first one's
+//     runtime callback right-sizes, allocates, and reconfigures the
+//     queue's stream-scoped CU mask via the (serialized) IOCTL; the second
+//     waits for the reconfiguration signal so the kernel cannot race the
+//     mask change.
+//   - ModePassthrough — the unmodified baseline: kernels inherit the
+//     queue's CU mask (whatever MPS-default/static policy set it to).
+//
+// EstimateOverhead reproduces §V-B's accounting: the per-model emulation
+// overhead L_over = L_emu_base - L_real_base that must be subtracted from
+// emulated-KRISP latencies to estimate native KRISP performance (Fig. 12).
+package core
+
+import (
+	"krisp/internal/alloc"
+	"krisp/internal/gpu"
+	"krisp/internal/hsa"
+	"krisp/internal/kernels"
+	"krisp/internal/profile"
+	"krisp/internal/sim"
+	"krisp/internal/trace"
+)
+
+// Mode selects how spatial partitions are enforced.
+type Mode int
+
+const (
+	// ModePassthrough launches kernels with the queue's stream mask.
+	ModePassthrough Mode = iota
+	// ModeNative uses kernel-scoped partition instances in hardware.
+	ModeNative
+	// ModeEmulated emulates kernel scoping with barrier packets and the
+	// stream-scoped CU Masking IOCTL.
+	ModeEmulated
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePassthrough:
+		return "passthrough"
+	case ModeNative:
+		return "native"
+	case ModeEmulated:
+		return "emulated"
+	default:
+		return "unknown"
+	}
+}
+
+// RightSizer answers "how many CUs does this kernel need?" from the
+// profiled performance database — the Required CUs table of §IV-B.
+type RightSizer struct {
+	db       *profile.DB
+	totalCUs int
+	fixed    int
+}
+
+// NewRightSizer wraps a performance database for a device with totalCUs
+// compute units. A nil db right-sizes every kernel to the full device.
+func NewRightSizer(db *profile.DB, totalCUs int) *RightSizer {
+	return &RightSizer{db: db, totalCUs: totalCUs}
+}
+
+// NewFixedRightSizer returns a sizer granting a constant partition to
+// every kernel — model-wise right-sizing carried through kernel-scoped
+// partition instances (the paper's suggested enhancement to prior works).
+func NewFixedRightSizer(n, totalCUs int) *RightSizer {
+	if n < 1 {
+		n = 1
+	}
+	if n > totalCUs {
+		n = totalCUs
+	}
+	return &RightSizer{totalCUs: totalCUs, fixed: n}
+}
+
+// Size returns the partition size for a kernel: the fixed size if set,
+// else its profiled minCU, else the full device for unprofiled kernels.
+func (r *RightSizer) Size(d kernels.Desc) int {
+	if r.fixed > 0 {
+		return r.fixed
+	}
+	if r.db == nil {
+		return r.totalCUs
+	}
+	return r.db.MinCU(d, r.totalCUs)
+}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	Mode Mode
+	// OverlapLimit bounds allocated-but-busy CUs per kernel: 0 for
+	// KRISP-I, alloc.NoOverlapLimit for KRISP-O.
+	OverlapLimit int
+	// Policy is the CU distribution policy (Conserved for KRISP).
+	Policy alloc.Policy
+	// Trace, when non-nil, records every kernel launch.
+	Trace *trace.Trace
+}
+
+// Runtime intercepts kernel calls for one inference stream and applies
+// kernel-wise right-sizing. It is the programmer-transparent layer: the
+// caller (the "ML framework") only ever calls LaunchKernel.
+type Runtime struct {
+	cfg   Config
+	queue *hsa.Queue
+	rs    *RightSizer
+	eng   *sim.Engine
+	cp    *hsa.CommandProcessor
+	dev   *gpu.Device
+	seq   int
+}
+
+// NewRuntime builds the right-sizing runtime over an HSA queue. rs may be
+// nil in passthrough mode.
+func NewRuntime(eng *sim.Engine, cp *hsa.CommandProcessor, queue *hsa.Queue, rs *RightSizer, cfg Config) *Runtime {
+	if cfg.Mode != ModePassthrough && rs == nil {
+		panic("core: right-sizing modes require a RightSizer")
+	}
+	return &Runtime{
+		cfg:   cfg,
+		queue: queue,
+		rs:    rs,
+		eng:   eng,
+		cp:    cp,
+		dev:   cp.Device(),
+	}
+}
+
+// Queue returns the underlying HSA queue.
+func (rt *Runtime) Queue() *hsa.Queue { return rt.queue }
+
+// Mode returns the enforcement mode.
+func (rt *Runtime) Mode() Mode { return rt.cfg.Mode }
+
+// LaunchKernel submits one kernel call. onDone fires when the kernel
+// completes on the device.
+func (rt *Runtime) LaunchKernel(d kernels.Desc, onDone func()) {
+	seq := rt.seq
+	rt.seq++
+	switch rt.cfg.Mode {
+	case ModePassthrough:
+		rt.submit(seq, d, 0, onDone)
+	case ModeNative:
+		rt.submit(seq, d, rt.rs.Size(d), onDone)
+	case ModeEmulated:
+		rt.launchEmulated(seq, d, onDone)
+	default:
+		panic("core: unknown mode")
+	}
+}
+
+// submit dispatches a kernel (kernel-scoped iff partition > 0) and wires
+// tracing around it.
+func (rt *Runtime) submit(seq int, d kernels.Desc, partition int, onDone func()) {
+	sig := hsa.NewSignal(1)
+	if rt.cfg.Trace != nil {
+		var start sim.Time
+		var granted gpu.CUMask
+		// The queue serializes kernels, so completion order matches launch
+		// order and records append in sequence.
+		sig.OnDone(func() {
+			rt.cfg.Trace.Add(trace.Record{
+				Seq:          seq,
+				Kernel:       d.Name,
+				Workgroups:   d.Work.Workgroups,
+				MinCU:        partition,
+				AllocatedCUs: granted.Count(),
+				Start:        start,
+				End:          rt.eng.Now(),
+			})
+			if onDone != nil {
+				onDone()
+			}
+		})
+		rt.queue.Submit(hsa.Packet{
+			Type:         hsa.KernelDispatch,
+			Kernel:       d,
+			PartitionCUs: partition,
+			OverlapLimit: rt.cfg.OverlapLimit,
+			Completion:   sig,
+			OnDispatch: func(mask gpu.CUMask) {
+				start = rt.eng.Now()
+				granted = mask
+			},
+		})
+		return
+	}
+	if onDone != nil {
+		sig.OnDone(onDone)
+	}
+	rt.queue.Submit(hsa.Packet{
+		Type:         hsa.KernelDispatch,
+		Kernel:       d,
+		PartitionCUs: partition,
+		OverlapLimit: rt.cfg.OverlapLimit,
+		Completion:   sig,
+	})
+}
+
+// launchEmulated implements Fig. 11b: barrier (callback: right-size +
+// allocate + IOCTL) -> barrier (wait for mask applied) -> kernel.
+func (rt *Runtime) launchEmulated(seq int, d kernels.Desc, onDone func()) {
+	maskApplied := hsa.NewSignal(1)
+	// First barrier: consumed once prior kernels in this queue are done
+	// (queue FIFO order guarantees that); its runtime callback performs
+	// kernel-wise right-sizing and queue mask reconfiguration.
+	rt.queue.SubmitBarrier(nil, func() {
+		size := rt.rs.Size(d)
+		mask := alloc.GenerateMask(rt.dev.Spec.Topo, rt.dev.Counters(), alloc.Request{
+			NumCUs:       size,
+			OverlapLimit: rt.cfg.OverlapLimit,
+			Policy:       rt.cfg.Policy,
+			MinGrant:     rt.cp.FairShare(),
+		})
+		rt.queue.SetCUMask(mask, func() { maskApplied.Complete() })
+	}, nil)
+	// Second barrier: blocks the kernel packet until the IOCTL applied
+	// the new mask, avoiding the mask/kernel race.
+	rt.queue.SubmitBarrier([]*hsa.Signal{maskApplied}, nil, nil)
+	// The kernel itself inherits the queue mask just installed.
+	rt.submit(seq, d, 0, onDone)
+}
+
+// RunSequence launches a kernel sequence (one inference pass) and invokes
+// onDone when the final kernel completes.
+func (rt *Runtime) RunSequence(descs []kernels.Desc, onDone func()) {
+	if len(descs) == 0 {
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	for i, d := range descs {
+		if i == len(descs)-1 {
+			rt.LaunchKernel(d, onDone)
+		} else {
+			rt.LaunchKernel(d, nil)
+		}
+	}
+}
+
+// OverheadEstimate is the §V-B accounting for one model.
+type OverheadEstimate struct {
+	// LRealBase is the inference latency on the unmodified baseline.
+	LRealBase sim.Duration
+	// LEmuBase is the latency with kernel-scoped emulation enabled but
+	// right-sizing pinned to all CUs (mask reconfiguration still happens).
+	LEmuBase sim.Duration
+	// LOver = LEmuBase - LRealBase: the emulation-only overhead that must
+	// be subtracted from emulated-KRISP measurements.
+	LOver sim.Duration
+}
+
+// Adjust converts an emulated-KRISP latency into the estimated native
+// latency: L_real^KRISP = L_emu^KRISP - L_over.
+func (o OverheadEstimate) Adjust(emulated sim.Duration) sim.Duration {
+	adj := emulated - o.LOver
+	if adj < 0 {
+		adj = 0
+	}
+	return adj
+}
+
+// EstimateOverhead measures LRealBase and LEmuBase for one inference pass
+// by running it twice on a fresh, otherwise-idle stack: once in
+// passthrough mode and once in emulated mode with a full-device
+// right-sizer (the paper's "resource mask set to all active CUs").
+func EstimateOverhead(spec gpu.DeviceSpec, hsaCfg hsa.Config, descs []kernels.Desc) OverheadEstimate {
+	run := func(mode Mode) sim.Duration {
+		eng := sim.New()
+		dev := gpu.NewDevice(eng, spec, nil)
+		cfg := hsaCfg
+		cfg.KernelScoped = false // emulation path must not use native support
+		cp := hsa.NewCommandProcessor(eng, dev, cfg)
+		// Full-device right-sizer: every kernel sized to all CUs.
+		rs := NewRightSizer(nil, spec.Topo.TotalCUs())
+		rt := NewRuntime(eng, cp, cp.NewQueue(), rs, Config{
+			Mode:         mode,
+			OverlapLimit: alloc.NoOverlapLimit,
+		})
+		var done sim.Time
+		rt.RunSequence(descs, func() { done = eng.Now() })
+		eng.Run()
+		return done
+	}
+	real := run(ModePassthrough)
+	emu := run(ModeEmulated)
+	return OverheadEstimate{LRealBase: real, LEmuBase: emu, LOver: emu - real}
+}

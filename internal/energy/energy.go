@@ -1,0 +1,87 @@
+// Package energy models GPU power draw and integrates it over virtual time,
+// standing in for the paper's rocm-smi sampling when computing energy per
+// inference (Fig. 13c) and the distribution-policy energy effects (Fig. 8).
+//
+// Power is piecewise constant between device state changes:
+//
+//	P = Idle + PerCU x busyCUs
+//
+// which captures the two effects the paper reports: co-location amortizes
+// idle power across more inferences, and CU-conserving allocation policies
+// power fewer CUs for the same work.
+package energy
+
+import (
+	"krisp/internal/sim"
+)
+
+// Model holds the power parameters, in watts.
+type Model struct {
+	// IdleW is the static draw of the powered-on device.
+	IdleW float64
+	// PerCUW is the additional draw of each busy CU.
+	PerCUW float64
+}
+
+// MI50Power approximates the MI50: 75W idle, 300W with all 60 CUs busy.
+func MI50Power() Model {
+	return Model{IdleW: 75, PerCUW: 3.75}
+}
+
+// Power returns the instantaneous draw with busyCUs CUs active.
+func (m Model) Power(busyCUs int) float64 {
+	return m.IdleW + m.PerCUW*float64(busyCUs)
+}
+
+// Meter integrates power over virtual time. It implements gpu.Meter, so it
+// can be attached to a gpu.Device at construction.
+type Meter struct {
+	model    Model
+	lastTime sim.Time
+	lastBusy int
+	joules   float64
+}
+
+// NewMeter creates a meter that starts integrating at time zero with an
+// idle device.
+func NewMeter(model Model) *Meter {
+	return &Meter{model: model}
+}
+
+// ObserveState banks the energy accrued since the previous state change
+// and records the new busy-CU count. It satisfies gpu.Meter.
+func (m *Meter) ObserveState(now sim.Time, busyCUs, kernels int) {
+	m.accumulate(now)
+	m.lastBusy = busyCUs
+}
+
+func (m *Meter) accumulate(now sim.Time) {
+	if now > m.lastTime {
+		// watts x microseconds -> microjoules -> joules.
+		m.joules += m.model.Power(m.lastBusy) * (now - m.lastTime) / 1e6
+		m.lastTime = now
+	}
+}
+
+// EnergyJ returns the total energy in joules consumed up to virtual time
+// now (which must not precede the last observed state change).
+func (m *Meter) EnergyJ(now sim.Time) float64 {
+	m.accumulate(now)
+	return m.joules
+}
+
+// Reset zeroes the integral, starting a fresh measurement window at now
+// while keeping the current busy state.
+func (m *Meter) Reset(now sim.Time) {
+	m.accumulate(now)
+	m.joules = 0
+}
+
+// PerInference divides total energy by completed inferences; zero
+// inferences yields 0.
+func PerInference(joules float64, inferences int) float64 {
+	if inferences <= 0 {
+		return 0
+	}
+	return joules / float64(inferences)
+}

@@ -1,0 +1,83 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"krisp/internal/gpu"
+	"krisp/internal/sim"
+)
+
+func TestPowerModel(t *testing.T) {
+	m := MI50Power()
+	if got := m.Power(0); got != 75 {
+		t.Errorf("idle power = %v, want 75", got)
+	}
+	if got := m.Power(60); got != 300 {
+		t.Errorf("full power = %v, want 300", got)
+	}
+}
+
+func TestMeterIntegratesPiecewise(t *testing.T) {
+	m := NewMeter(Model{IdleW: 100, PerCUW: 1})
+	// 0-10us idle (100W), 10-30us with 50 CUs (150W), 30-40us idle.
+	m.ObserveState(10, 50, 1)
+	m.ObserveState(30, 0, 0)
+	got := m.EnergyJ(40)
+	want := (100*10 + 150*20 + 100*10) / 1e6
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("EnergyJ = %v, want %v", got, want)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter(Model{IdleW: 100, PerCUW: 2})
+	m.ObserveState(10, 30, 1)
+	m.Reset(20)
+	// After reset, only the 20-30us window counts: 160W x 10us.
+	got := m.EnergyJ(30)
+	want := 160 * 10 / 1e6
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("EnergyJ after reset = %v, want %v", got, want)
+	}
+}
+
+func TestMeterIdempotentReads(t *testing.T) {
+	m := NewMeter(MI50Power())
+	m.ObserveState(100, 10, 1)
+	a := m.EnergyJ(200)
+	b := m.EnergyJ(200)
+	if a != b {
+		t.Errorf("repeated reads differ: %v vs %v", a, b)
+	}
+}
+
+func TestPerInference(t *testing.T) {
+	if got := PerInference(10, 4); got != 2.5 {
+		t.Errorf("PerInference = %v, want 2.5", got)
+	}
+	if PerInference(10, 0) != 0 {
+		t.Error("zero inferences should yield 0")
+	}
+}
+
+// TestMeterWithDevice wires the meter into a gpu.Device and checks that a
+// kernel on fewer CUs consumes less energy than the same work spread wide
+// but idle-padded — the Fig. 8 conserved-policy effect.
+func TestMeterWithDevice(t *testing.T) {
+	run := func(cus int) float64 {
+		eng := sim.New()
+		meter := NewMeter(MI50Power())
+		dev := gpu.NewDevice(eng, gpu.MI50Spec(), meter)
+		// 1-wave kernel on `cus` CUs within one SE: same duration
+		// regardless of cus (for cus >= 12), different busy count.
+		work := gpu.KernelWork{Workgroups: cus * 10, ThreadsPerWG: 256, WGTime: 100, Tail: 1}
+		dev.Launch(work, gpu.RangeMask(gpu.MI50, 0, cus), nil)
+		eng.Run()
+		return meter.EnergyJ(eng.Now())
+	}
+	e12, e15 := run(12), run(15)
+	if e12 >= e15 {
+		t.Errorf("12-CU energy %v should be below 15-CU energy %v", e12, e15)
+	}
+}

@@ -1,0 +1,60 @@
+package gpu
+
+import (
+	"testing"
+
+	"krisp/internal/sim"
+)
+
+// BenchmarkDuration measures the closed-form latency model — the profiler
+// evaluates it tens of thousands of times per model sweep.
+func BenchmarkDuration(b *testing.B) {
+	d := NewDevice(sim.New(), MI50Spec(), nil)
+	work := KernelWork{Workgroups: 550, ThreadsPerWG: 256, WGTime: 10, MemBytes: 1e7, Tail: 0.5, WaveExponent: 0.65}
+	mask := RangeMask(MI50, 0, 37)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.Duration(work, mask)
+	}
+}
+
+// BenchmarkLaunchCompleteCycle measures one kernel lifecycle on the
+// device, including the retime of co-runners.
+func BenchmarkLaunchCompleteCycle(b *testing.B) {
+	eng := sim.New()
+	d := NewDevice(eng, MI50Spec(), nil)
+	work := KernelWork{Workgroups: 600, ThreadsPerWG: 256, WGTime: 10, Tail: 0.5}
+	mask := FullMask(MI50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Launch(work, mask, nil)
+		eng.Run()
+	}
+}
+
+// BenchmarkContendedRetime measures the retime cost with several
+// concurrent kernels — the dominant per-event cost in big simulations.
+func BenchmarkContendedRetime(b *testing.B) {
+	eng := sim.New()
+	d := NewDevice(eng, MI50Spec(), nil)
+	work := KernelWork{Workgroups: 6000, ThreadsPerWG: 256, WGTime: 10, Tail: 0.5}
+	for i := 0; i < 3; i++ {
+		d.Launch(work, RangeMask(MI50, i*15, 15), nil)
+	}
+	short := KernelWork{Workgroups: 150, ThreadsPerWG: 256, WGTime: 1, Tail: 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Launch(short, RangeMask(MI50, 45, 15), nil)
+		// Drain only the short kernel's completion.
+		eng.Step()
+	}
+}
+
+func BenchmarkMaskOps(b *testing.B) {
+	m := FullMask(MI50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m = m.Clear(i % 60).Set(i % 60)
+		_ = m.CountInSE(MI50, i%4)
+	}
+}

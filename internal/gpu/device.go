@@ -1,0 +1,464 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"krisp/internal/sim"
+)
+
+// KernelWork is the device-level description of one kernel dispatch: how
+// much work it carries and how that work responds to CU allocation. Higher
+// layers (internal/kernels) attach names, families, and sizes; the device
+// only needs these numbers.
+type KernelWork struct {
+	// Workgroups is the total number of workgroups (thread blocks) in the
+	// kernel's grid.
+	Workgroups int
+	// ThreadsPerWG is the workgroup size in threads. It does not affect
+	// timing directly (the WGTime already accounts for it) but is tracked
+	// for kernel-size reporting (Fig. 6a).
+	ThreadsPerWG int
+	// WGTime is the execution time of a single workgroup occupying one
+	// workgroup slot, in virtual microseconds.
+	WGTime sim.Duration
+	// MemBytes is the total DRAM traffic of the kernel in bytes. Kernels
+	// with high MemBytes become bandwidth-bound and tolerate CU
+	// restriction (the paper's Fig. 6 observation that thread count alone
+	// does not predict the minimum required CUs).
+	MemBytes float64
+	// Tail is a fixed serial epilogue (drain, final reduction) added to
+	// every execution, in microseconds.
+	Tail sim.Duration
+	// WaveExponent controls how gracefully the kernel degrades when it
+	// runs more waves than its single-wave knee: execution time scales as
+	// waves^WaveExponent. 0 means 1.0 (linear, the worst case). Real
+	// compute kernels land around 0.6-0.8 because deeper per-CU queues
+	// improve latency hiding — this is what lets a 55-CU kernel survive
+	// on a 15-CU partition with ~2.5x (not 4x) slowdown, as the paper's
+	// SLO results imply.
+	WaveExponent float64
+}
+
+// Threads returns the total thread count of the dispatch (Fig. 6a x-axis).
+func (w KernelWork) Threads() int { return w.Workgroups * w.ThreadsPerWG }
+
+// DeviceSpec captures the fixed hardware parameters of the simulated GPU.
+type DeviceSpec struct {
+	Topo Topology
+	// SlotsPerCU is the number of workgroups a CU can execute
+	// concurrently. The MI50's 2560 threads/CU with 256-thread workgroups
+	// gives 10 slots.
+	SlotsPerCU int
+	// MemBandwidth is the device DRAM bandwidth in bytes per microsecond
+	// (1 TB/s == 1e6 bytes/us).
+	MemBandwidth float64
+	// InterferenceTax scales the cost of oversubscribing a CU's issue
+	// capacity: when the total compute pressure P on a CU exceeds 1.0
+	// (saturation), every workgroup on it stretches by an extra
+	// (1+InterferenceTax) x (P-1). Sharing is cheap while the machine has
+	// slack — the premise that makes co-location attractive — and
+	// destructively expensive once saturated, which is why isolation
+	// (KRISP-I) outperforms free sharing at high worker counts.
+	InterferenceTax float64
+	// ShareTax is the baseline cost of co-location even below
+	// saturation: every unit of co-runner compute pressure on a kernel's
+	// CUs stretches it by ShareTax (cache thrash, scheduler
+	// interference). Zero would make unsaturated sharing literally free,
+	// which real hardware never is.
+	ShareTax float64
+}
+
+// MI50Spec approximates the AMD MI50: 60 CUs, 10 workgroup slots per CU,
+// 1 TB/s HBM2 bandwidth.
+func MI50Spec() DeviceSpec {
+	return DeviceSpec{
+		Topo:            MI50,
+		SlotsPerCU:      10,
+		MemBandwidth:    1.0e6, // 1 TB/s in bytes/us
+		InterferenceTax: 1.0,
+		ShareTax:        0.25,
+	}
+}
+
+// MI100Spec approximates the AMD MI100: 120 CUs and 1.23 TB/s HBM2.
+func MI100Spec() DeviceSpec {
+	return DeviceSpec{
+		Topo:            MI100,
+		SlotsPerCU:      10,
+		MemBandwidth:    1.23e6,
+		InterferenceTax: 1.0,
+		ShareTax:        0.25,
+	}
+}
+
+// Meter observes device activity state changes; internal/energy implements
+// it to integrate power over virtual time. busyCUs is the number of CUs
+// with at least one kernel assigned, kernels the number of kernels
+// currently executing.
+type Meter interface {
+	ObserveState(now sim.Time, busyCUs, kernels int)
+}
+
+// Exec is one kernel execution in flight on the device.
+type Exec struct {
+	work   KernelWork
+	mask   CUMask
+	onDone func()
+
+	remaining  float64 // fraction of the kernel still to execute, 1 → 0
+	curTotal   sim.Duration
+	lastUpdate sim.Time
+	done       *sim.Event
+	id         uint64
+	// pressure is this kernel's per-CU compute pressure contribution,
+	// fixed at dispatch; memIntensity its bandwidth demand weight.
+	pressure     float64
+	memIntensity float64
+}
+
+// Mask returns the CU mask this execution was dispatched with.
+func (x *Exec) Mask() CUMask { return x.mask }
+
+// Device simulates kernel execution over the SE/CU topology. All methods
+// must be called from the simulation goroutine.
+type Device struct {
+	Spec DeviceSpec
+
+	eng      *sim.Engine
+	running  map[*Exec]struct{}
+	counters []int // per-CU count of kernels whose mask includes the CU (Resource Monitor)
+	// pressure is the per-CU sum of the running kernels' compute pressure
+	// (occupancy x compute-boundedness). It drives the contention model:
+	// a low-occupancy or bandwidth-bound co-runner barely disturbs a CU,
+	// which is exactly the fine-grain under-utilization KRISP harvests.
+	pressure []float64
+	// memPressure is the sum of running kernels' memory intensity — the
+	// demand weight dividing DRAM bandwidth.
+	memPressure float64
+	meter       Meter
+	nextID      uint64
+
+	// busyIntegral accumulates busyCUs x time for utilization reporting.
+	busyIntegral float64
+	lastBusyAt   sim.Time
+	lastBusyCUs  int
+}
+
+// NewDevice creates a device bound to the simulation engine. meter may be
+// nil when energy accounting is not needed.
+func NewDevice(eng *sim.Engine, spec DeviceSpec, meter Meter) *Device {
+	if err := spec.Topo.Validate(); err != nil {
+		panic(err)
+	}
+	if spec.SlotsPerCU <= 0 {
+		panic("gpu: SlotsPerCU must be positive")
+	}
+	if spec.MemBandwidth <= 0 {
+		panic("gpu: MemBandwidth must be positive")
+	}
+	return &Device{
+		Spec:     spec,
+		eng:      eng,
+		running:  make(map[*Exec]struct{}),
+		counters: make([]int, spec.Topo.TotalCUs()),
+		pressure: make([]float64, spec.Topo.TotalCUs()),
+		meter:    meter,
+	}
+}
+
+// KernelCount returns the number of kernels currently assigned to CU cu —
+// the per-CU kernel counter KRISP's Resource Monitor exposes to the
+// allocator (Algorithm 1's CU_Kernel_Counters).
+func (d *Device) KernelCount(cu int) int { return d.counters[cu] }
+
+// Counters returns a copy of all per-CU kernel counters.
+func (d *Device) Counters() []int {
+	out := make([]int, len(d.counters))
+	copy(out, d.counters)
+	return out
+}
+
+// Running returns the number of kernels currently executing.
+func (d *Device) Running() int { return len(d.running) }
+
+// BusyCUs returns the number of CUs with at least one kernel assigned.
+func (d *Device) BusyCUs() int {
+	n := 0
+	for _, c := range d.counters {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AvgBusyCUs returns the time-weighted average number of busy CUs since the
+// device was created (or since ResetUtilization).
+func (d *Device) AvgBusyCUs() float64 {
+	d.accumulateBusy()
+	if d.eng.Now() == 0 {
+		return 0
+	}
+	return d.busyIntegral / d.eng.Now()
+}
+
+// ResetUtilization clears the busy-CU integral, starting a fresh
+// measurement window at the current virtual time.
+func (d *Device) ResetUtilization() {
+	d.busyIntegral = 0
+	d.lastBusyAt = d.eng.Now()
+	d.lastBusyCUs = d.BusyCUs()
+}
+
+func (d *Device) accumulateBusy() {
+	now := d.eng.Now()
+	d.busyIntegral += float64(d.lastBusyCUs) * (now - d.lastBusyAt)
+	d.lastBusyAt = now
+	d.lastBusyCUs = d.BusyCUs()
+}
+
+// Launch begins executing a kernel on the CUs enabled in mask. onDone fires
+// (via the simulation engine) when the kernel completes. The mask must be
+// non-empty and the work non-trivial.
+func (d *Device) Launch(work KernelWork, mask CUMask, onDone func()) *Exec {
+	if mask.IsEmpty() {
+		panic("gpu: Launch with empty CU mask")
+	}
+	if work.Workgroups <= 0 {
+		panic(fmt.Sprintf("gpu: Launch with %d workgroups", work.Workgroups))
+	}
+	d.accumulateBusy()
+	d.nextID++
+	x := &Exec{
+		work:       work,
+		mask:       mask,
+		onDone:     onDone,
+		remaining:  1,
+		lastUpdate: d.eng.Now(),
+		id:         d.nextID,
+	}
+	x.pressure, x.memIntensity = d.pressureOf(work, mask)
+	for _, cu := range mask.CUs() {
+		d.counters[cu]++
+		d.pressure[cu] += x.pressure
+	}
+	d.memPressure += x.memIntensity
+	d.running[x] = struct{}{}
+	d.retime()
+	d.observe()
+	return x
+}
+
+// complete finishes an execution: releases its CUs, re-times survivors, and
+// invokes the completion callback.
+func (d *Device) complete(x *Exec) {
+	d.accumulateBusy()
+	delete(d.running, x)
+	for _, cu := range x.mask.CUs() {
+		d.counters[cu]--
+		if d.counters[cu] < 0 {
+			panic("gpu: per-CU kernel counter went negative")
+		}
+		d.pressure[cu] -= x.pressure
+		if d.pressure[cu] < 0 {
+			d.pressure[cu] = 0
+		}
+	}
+	d.memPressure -= x.memIntensity
+	if d.memPressure < 0 {
+		d.memPressure = 0
+	}
+	d.retime()
+	d.observe()
+	if x.onDone != nil {
+		x.onDone()
+	}
+}
+
+func (d *Device) observe() {
+	if d.meter != nil {
+		d.meter.ObserveState(d.eng.Now(), d.BusyCUs(), len(d.running))
+	}
+}
+
+// retime re-evaluates every running kernel's duration under the current
+// contention state and reschedules its completion event. This is the
+// processor-sharing core: each kernel tracks the fraction of work
+// remaining; when conditions change, elapsed progress is banked at the old
+// speed and the residue re-timed at the new speed.
+func (d *Device) retime() {
+	now := d.eng.Now()
+	for x := range d.running {
+		// Bank progress at the previous speed.
+		if x.curTotal > 0 {
+			elapsed := now - x.lastUpdate
+			x.remaining -= elapsed / x.curTotal
+			if x.remaining < 0 {
+				x.remaining = 0
+			}
+		}
+		x.lastUpdate = now
+		x.curTotal = d.duration(x.work, x.mask, x.pressure, x.memIntensity)
+		finish := now + x.remaining*x.curTotal
+		if x.done == nil {
+			xx := x
+			x.done = d.eng.At(finish, func() { d.complete(xx) })
+		} else {
+			x.done = d.eng.Reschedule(x.done, finish)
+		}
+	}
+}
+
+// pressureOf computes a kernel's contention footprint on the mask it was
+// granted: its per-CU compute pressure (slot occupancy x
+// compute-boundedness — how much of a co-located CU's issue capacity it
+// consumes) and its memory intensity (the fraction of its lifetime spent
+// saturating DRAM bandwidth). A bandwidth-bound or low-occupancy kernel
+// leaves most of the CU usable by others — the fine-grain
+// under-utilization the paper targets.
+func (d *Device) pressureOf(work KernelWork, mask CUMask) (compute, memIntensity float64) {
+	nCUs := mask.Count()
+	if nCUs == 0 {
+		return 0, 0
+	}
+	occ := float64(work.Workgroups) / float64(nCUs*d.Spec.SlotsPerCU)
+	if occ > 1 {
+		occ = 1
+	}
+	// Solo compute time (average view) vs memory time on this mask.
+	waves := math.Ceil(float64(work.Workgroups) / float64(nCUs*d.Spec.SlotsPerCU))
+	if waves < 1 {
+		waves = 1
+	}
+	comp := waves * float64(work.WGTime)
+	mem := work.MemBytes / d.Spec.MemBandwidth
+	intensity := 1.0
+	memIntensity = 0
+	if comp+mem > 0 {
+		intensity = comp / (comp + mem)
+		memIntensity = mem / (comp + mem)
+	}
+	return occ * intensity, memIntensity
+}
+
+// Duration computes the solo execution time of work on mask: no CU
+// co-location and full memory bandwidth. Exported for profiling and tests.
+func (d *Device) Duration(work KernelWork, mask CUMask) sim.Duration {
+	return d.duration(work, mask, math.Inf(1), 0)
+}
+
+// duration is the full model. ownPressure is the calling kernel's own
+// per-CU pressure contribution, subtracted from the device's per-CU
+// pressure to leave only co-runners. Pass +Inf to ignore contention (solo
+// view).
+//
+// The model follows observed AMD behaviour (paper §IV-C, [51]):
+//
+//   - workgroups are split equally across the SEs that have at least one
+//     enabled CU — so the least-provisioned SE gates the kernel, which is
+//     what produces the Packed-policy spikes at 16/31/46 CUs and the
+//     Distributed-policy dips below one full SE (Fig. 8);
+//   - within an SE, the workgroup manager dispatches workgroups to CUs as
+//     slots free up, so the SE behaves as a pooled set of workgroup
+//     slots; execution proceeds in waves of the pooled slots, quantized
+//     to half waves, and waves beyond the first cost waves^WaveExponent
+//     (latency hiding improves with per-CU queue depth);
+//   - co-location is free while the enabled CUs have issue slack; once
+//     their aggregate compute pressure exceeds capacity, every workgroup
+//     stretches by the oversubscription times (1 + InterferenceTax);
+//   - memory-bound kernels are limited by their demand-weighted share of
+//     device bandwidth, which is why large kernels can tolerate few CUs
+//     (Fig. 6).
+func (d *Device) duration(work KernelWork, mask CUMask, ownPressure, ownMem float64) sim.Duration {
+	topo := d.Spec.Topo
+	used := mask.UsedSEs(topo)
+	if len(used) == 0 {
+		panic("gpu: Duration with empty mask")
+	}
+	nSE := len(used)
+	baseWG := work.Workgroups / nSE
+	extraWG := work.Workgroups % nSE
+
+	var worst float64 // waveCost x stretch, worst SE
+	for i, se := range used {
+		wgSE := baseWG
+		if i < extraWG {
+			wgSE++
+		}
+		if wgSE == 0 {
+			continue
+		}
+		a := mask.CountInSE(topo, se)
+		waves := float64(wgSE) / float64(a*d.Spec.SlotsPerCU)
+		// Half-wave quantization keeps the single-wave knee sharp (the
+		// minCU phenomenon) while letting deep restriction degrade in
+		// steps.
+		wq := math.Ceil(2*waves) / 2
+		if wq < 1 {
+			wq = 1
+		}
+		waveCost := wq
+		if work.WaveExponent > 0 && work.WaveExponent != 1 && wq > 1 {
+			waveCost = math.Pow(wq, work.WaveExponent)
+		}
+		// Contention stretch: co-runners always cost a little (cache and
+		// scheduler interference, ShareTax), and once the enabled CUs'
+		// aggregate compute pressure exceeds capacity the oversubscribed
+		// fraction costs fully plus the interference tax.
+		if !math.IsInf(ownPressure, 1) {
+			sumP := 0.0
+			for c := 0; c < topo.CUsPerSE; c++ {
+				cu := topo.CUIndex(se, c)
+				if mask.Has(cu) {
+					sumP += d.pressure[cu]
+				}
+			}
+			avgP := sumP / float64(a)
+			other := avgP - ownPressure
+			if other < 0 {
+				other = 0
+			}
+			stretch := 1 + d.Spec.ShareTax*other
+			if avgP > 1 {
+				stretch += (1 + d.Spec.InterferenceTax) * (avgP - 1)
+			}
+			waveCost *= stretch
+		}
+		if waveCost > worst {
+			worst = waveCost
+		}
+	}
+	compute := sim.Duration(worst) * work.WGTime
+
+	var mem sim.Duration
+	if work.MemBytes > 0 {
+		// Bandwidth is shared in proportion to memory intensity: a
+		// compute-bound co-runner barely dents a streaming kernel's
+		// bandwidth, while two streaming kernels halve each other's.
+		demand := 1.0
+		if !math.IsInf(ownPressure, 1) {
+			others := d.memPressure - ownMem
+			if others > 0 {
+				demand += others
+			}
+		}
+		mem = work.MemBytes * demand / d.Spec.MemBandwidth
+	}
+
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return t + work.Tail
+}
+
+// IsolatedDuration is Duration on an otherwise-idle device: no CU sharing
+// and full memory bandwidth. It is the closed form the profiler uses, so
+// minCU searches do not need event simulation.
+func (d *Device) IsolatedDuration(work KernelWork, mask CUMask) sim.Duration {
+	if d.Running() != 0 {
+		panic("gpu: IsolatedDuration called while kernels are running")
+	}
+	return d.Duration(work, mask)
+}

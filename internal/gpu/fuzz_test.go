@@ -1,0 +1,54 @@
+package gpu
+
+import (
+	"testing"
+
+	"krisp/internal/sim"
+)
+
+// FuzzDuration drives the latency model with arbitrary work shapes and
+// masks; durations must always be positive and finite, and enabling more
+// CUs within an already-used SE must never hurt.
+func FuzzDuration(f *testing.F) {
+	f.Add(uint(600), uint(10), uint64(0xfff), false)
+	f.Add(uint(1), uint(1), uint64(1), true)
+	f.Add(uint(65535), uint(500), uint64(0x7fffffffffffffff), true)
+	f.Fuzz(func(t *testing.T, wgs, wgTime uint, maskBits uint64, mem bool) {
+		work := KernelWork{
+			Workgroups:   int(wgs%100000) + 1,
+			ThreadsPerWG: 256,
+			WGTime:       sim.Duration(wgTime%10000) + 0.01,
+			Tail:         0.5,
+			WaveExponent: 0.65,
+		}
+		if mem {
+			work.MemBytes = float64(wgs) * 1e4
+		}
+		var mask CUMask
+		for cu := 0; cu < 60; cu++ {
+			if maskBits>>uint(cu)&1 == 1 {
+				mask = mask.Set(cu)
+			}
+		}
+		if mask.IsEmpty() {
+			mask = mask.Set(0)
+		}
+		d := NewDevice(sim.New(), MI50Spec(), nil)
+		got := d.Duration(work, mask)
+		if !(got > 0) || got > sim.Never {
+			t.Fatalf("duration %v for %+v on %v", got, work, mask)
+		}
+		// Monotonicity within a used SE.
+		se := mask.CUs()[0] / 15
+		for c := 0; c < 15; c++ {
+			cu := se*15 + c
+			if !mask.Has(cu) {
+				bigger := mask.Set(cu)
+				if d.Duration(work, bigger) > got+1e-9 {
+					t.Fatalf("adding CU %d to a used SE increased duration", cu)
+				}
+				break
+			}
+		}
+	})
+}

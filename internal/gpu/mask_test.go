@@ -1,0 +1,179 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskSetClearHas(t *testing.T) {
+	var m CUMask
+	for _, cu := range []int{0, 5, 59, 63, 64, 100, 127} {
+		m = m.Set(cu)
+		if !m.Has(cu) {
+			t.Errorf("Has(%d) = false after Set", cu)
+		}
+	}
+	if m.Count() != 7 {
+		t.Errorf("Count() = %d, want 7", m.Count())
+	}
+	m = m.Clear(64)
+	if m.Has(64) {
+		t.Error("Has(64) = true after Clear")
+	}
+	if m.Count() != 6 {
+		t.Errorf("Count() = %d after clear, want 6", m.Count())
+	}
+}
+
+func TestMaskCUsOrdered(t *testing.T) {
+	var m CUMask
+	want := []int{3, 17, 59, 70, 127}
+	for _, cu := range []int{127, 3, 70, 59, 17} {
+		m = m.Set(cu)
+	}
+	got := m.CUs()
+	if len(got) != len(want) {
+		t.Fatalf("CUs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CUs() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaskSetOperations(t *testing.T) {
+	a := CUMask{}.Set(1).Set(2).Set(65)
+	b := CUMask{}.Set(2).Set(3).Set(65)
+	if got := a.And(b).CUs(); len(got) != 2 || got[0] != 2 || got[1] != 65 {
+		t.Errorf("And = %v, want [2 65]", got)
+	}
+	if got := a.Or(b).Count(); got != 4 {
+		t.Errorf("Or count = %d, want 4", got)
+	}
+	if got := a.AndNot(b).CUs(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("AndNot = %v, want [1]", got)
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Error("Equal is wrong")
+	}
+}
+
+func TestFullMask(t *testing.T) {
+	m := FullMask(MI50)
+	if m.Count() != 60 {
+		t.Errorf("FullMask(MI50).Count() = %d, want 60", m.Count())
+	}
+	for se := 0; se < 4; se++ {
+		if got := m.CountInSE(MI50, se); got != 15 {
+			t.Errorf("CountInSE(%d) = %d, want 15", se, got)
+		}
+	}
+	if got := len(m.UsedSEs(MI50)); got != 4 {
+		t.Errorf("UsedSEs = %d, want 4", got)
+	}
+}
+
+func TestRangeMaskWraps(t *testing.T) {
+	m := RangeMask(MI50, 55, 10)
+	if m.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", m.Count())
+	}
+	for _, cu := range []int{55, 59, 0, 4} {
+		if !m.Has(cu) {
+			t.Errorf("RangeMask(55,10) missing CU %d", cu)
+		}
+	}
+	if m.Has(5) || m.Has(54) {
+		t.Error("RangeMask(55,10) includes out-of-range CU")
+	}
+	// Oversized request clamps to the device.
+	if got := RangeMask(MI50, 0, 100).Count(); got != 60 {
+		t.Errorf("oversized RangeMask count = %d, want 60", got)
+	}
+}
+
+func TestMaskFormat(t *testing.T) {
+	m := CUMask{}.Set(0).Set(15)
+	s := m.Format(MI50)
+	want := "SE0[100000000000000] SE1[100000000000000] SE2[000000000000000] SE3[000000000000000]"
+	if s != want {
+		t.Errorf("Format = %q, want %q", s, want)
+	}
+}
+
+// Property: Count equals the number of ids CUs() returns, and every id
+// returned satisfies Has.
+func TestMaskCountCUsConsistency(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m CUMask
+		set := map[int]bool{}
+		for i := 0; i < int(n); i++ {
+			cu := rng.Intn(MaxCUs)
+			m = m.Set(cu)
+			set[cu] = true
+		}
+		if m.Count() != len(set) {
+			return false
+		}
+		for _, cu := range m.CUs() {
+			if !set[cu] || !m.Has(cu) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan-ish identities over masks.
+func TestMaskAlgebraProperty(t *testing.T) {
+	gen := func(rng *rand.Rand) CUMask {
+		var m CUMask
+		for i := 0; i < MaxCUs; i++ {
+			if rng.Intn(2) == 0 {
+				m = m.Set(i)
+			}
+		}
+		return m
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := gen(rng), gen(rng)
+		if !a.And(b).Or(a.AndNot(b)).Equal(a) {
+			return false
+		}
+		if a.And(b).Count()+a.AndNot(b).Count() != a.Count() {
+			return false
+		}
+		return a.Or(b).Count() == a.Count()+b.AndNot(a).Count()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopology(t *testing.T) {
+	if MI50.TotalCUs() != 60 {
+		t.Errorf("MI50 total = %d, want 60", MI50.TotalCUs())
+	}
+	if MI50.SEOf(14) != 0 || MI50.SEOf(15) != 1 || MI50.SEOf(59) != 3 {
+		t.Error("SEOf wrong")
+	}
+	if MI50.CUIndex(2, 3) != 33 {
+		t.Errorf("CUIndex(2,3) = %d, want 33", MI50.CUIndex(2, 3))
+	}
+	if err := MI50.Validate(); err != nil {
+		t.Errorf("MI50.Validate() = %v", err)
+	}
+	if err := (Topology{0, 5}).Validate(); err == nil {
+		t.Error("invalid topology validated")
+	}
+	if err := (Topology{10, 20}).Validate(); err == nil {
+		t.Error("oversized topology validated")
+	}
+}

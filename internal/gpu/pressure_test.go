@@ -1,0 +1,162 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"krisp/internal/sim"
+)
+
+// Property: after any schedule of launches drains, per-CU pressure and
+// memory pressure return to zero.
+func TestPressureConservationProperty(t *testing.T) {
+	prop := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.New()
+		d := NewDevice(eng, MI50Spec(), nil)
+		n := int(n8%10) + 1
+		for i := 0; i < n; i++ {
+			work := KernelWork{
+				Workgroups:   1 + rng.Intn(3000),
+				ThreadsPerWG: 256,
+				WGTime:       sim.Duration(1 + rng.Intn(40)),
+				MemBytes:     float64(rng.Intn(2)) * float64(rng.Intn(100)) * 1e6,
+				Tail:         0.5,
+				WaveExponent: []float64{0, 0.5, 0.65, 1}[rng.Intn(4)],
+			}
+			at := sim.Time(rng.Intn(200))
+			mask := RangeMask(MI50, rng.Intn(60), 1+rng.Intn(60))
+			eng.At(at, func() { d.Launch(work, mask, nil) })
+		}
+		eng.Run()
+		for cu := 0; cu < 60; cu++ {
+			if d.pressure[cu] > 1e-9 {
+				return false
+			}
+		}
+		return d.memPressure < 1e-9 && d.Running() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPressureOfLowOccupancy(t *testing.T) {
+	_, d := newTestDevice()
+	// 120 WGs on the full device: occupancy 0.2, compute-bound.
+	work := KernelWork{Workgroups: 120, ThreadsPerWG: 256, WGTime: 100, Tail: 0.5}
+	p, memI := d.pressureOf(work, FullMask(MI50))
+	if p < 0.19 || p > 0.21 {
+		t.Errorf("pressure = %v, want ~0.2", p)
+	}
+	if memI > 0.01 {
+		t.Errorf("memIntensity = %v for compute kernel, want ~0", memI)
+	}
+	// Same kernel on 12 CUs: occupancy 1.0.
+	p, _ = d.pressureOf(work, RangeMask(MI50, 0, 12))
+	if p < 0.99 {
+		t.Errorf("pressure on tight mask = %v, want ~1", p)
+	}
+}
+
+func TestPressureOfMemBound(t *testing.T) {
+	_, d := newTestDevice()
+	work := KernelWork{Workgroups: 6000, ThreadsPerWG: 256, WGTime: 0.05, MemBytes: 5e8, Tail: 0.5}
+	p, memI := d.pressureOf(work, FullMask(MI50))
+	if p > 0.05 {
+		t.Errorf("compute pressure = %v for streaming kernel, want ~0", p)
+	}
+	if memI < 0.9 {
+		t.Errorf("memIntensity = %v for streaming kernel, want ~1", memI)
+	}
+}
+
+// TestLowOccupancySharingNearlyFree verifies the paper's co-location
+// premise: two low-occupancy kernels share the GPU at almost no cost.
+func TestLowOccupancySharingNearlyFree(t *testing.T) {
+	eng, d := newTestDevice()
+	work := KernelWork{Workgroups: 120, ThreadsPerWG: 256, WGTime: 100, Tail: 1}
+	solo := d.IsolatedDuration(work, FullMask(MI50))
+	var t1, t2 sim.Time
+	d.Launch(work, FullMask(MI50), func() { t1 = eng.Now() })
+	d.Launch(work, FullMask(MI50), func() { t2 = eng.Now() })
+	eng.Run()
+	// Each sees 0.2 of co-runner pressure: stretch = 1 + 0.25*0.2 = 1.05.
+	if t1 != t2 {
+		t.Fatalf("asymmetric completions %v, %v", t1, t2)
+	}
+	if ratio := float64(t1) / float64(solo); ratio > 1.1 {
+		t.Errorf("low-occupancy sharing cost %.2fx, want <= 1.1x", ratio)
+	}
+}
+
+// TestSaturatedSharingIsExpensive is the flip side: two saturating kernels
+// pay the full oversubscription penalty.
+func TestSaturatedSharingIsExpensive(t *testing.T) {
+	eng, d := newTestDevice()
+	work := computeKernel(600)
+	solo := d.IsolatedDuration(work, FullMask(MI50))
+	var done sim.Time
+	d.Launch(work, FullMask(MI50), func() { done = eng.Now() })
+	d.Launch(work, FullMask(MI50), nil)
+	eng.Run()
+	if ratio := float64(done) / float64(solo); ratio < 2 {
+		t.Errorf("saturated sharing cost %.2fx, want >= 2x", ratio)
+	}
+}
+
+// TestMemBoundCoRunnerIsCheapCompute: a streaming kernel on the same CUs
+// barely slows a compute kernel (its compute pressure is ~0), though it
+// does claim bandwidth.
+func TestMemBoundCoRunnerIsCheapCompute(t *testing.T) {
+	eng, d := newTestDevice()
+	compute := computeKernel(600)
+	stream := KernelWork{Workgroups: 600, ThreadsPerWG: 256, WGTime: 0.01, MemBytes: 5e8, Tail: 0.5}
+	solo := d.IsolatedDuration(compute, FullMask(MI50))
+	var done sim.Time
+	d.Launch(compute, FullMask(MI50), func() { done = eng.Now() })
+	d.Launch(stream, FullMask(MI50), nil)
+	eng.Run()
+	if ratio := float64(done) / float64(solo); ratio > 1.15 {
+		t.Errorf("compute kernel slowed %.2fx by streaming co-runner, want <= 1.15x", ratio)
+	}
+}
+
+// TestWaveExponentSoftensRestriction verifies the sub-linear scaling knob:
+// a calibrated kernel on a quarter of its knee is much less than 4x slower.
+func TestWaveExponentSoftensRestriction(t *testing.T) {
+	_, d := newTestDevice()
+	linear := KernelWork{Workgroups: 600, ThreadsPerWG: 256, WGTime: 10, Tail: 0}
+	soft := linear
+	soft.WaveExponent = 0.5
+	full := FullMask(MI50)
+	quarter := RangeMask(MI50, 0, 15)
+	linRatio := float64(d.IsolatedDuration(linear, quarter)) / float64(d.IsolatedDuration(linear, full))
+	softRatio := float64(d.IsolatedDuration(soft, quarter)) / float64(d.IsolatedDuration(soft, full))
+	if linRatio < 3.9 || linRatio > 4.1 {
+		t.Errorf("linear restriction ratio = %v, want ~4", linRatio)
+	}
+	if softRatio < 1.9 || softRatio > 2.1 {
+		t.Errorf("alpha=0.5 restriction ratio = %v, want ~2", softRatio)
+	}
+}
+
+// TestHalfWaveQuantization pins the quantization boundaries.
+func TestHalfWaveQuantization(t *testing.T) {
+	_, d := newTestDevice()
+	full := FullMask(MI50)
+	base := float64(d.IsolatedDuration(computeKernel(600), full)) - 1 // strip tail
+	cases := []struct {
+		wgs  int
+		want float64 // in waves
+	}{
+		{600, 1}, {601, 1.5}, {900, 1.5}, {901, 2}, {1200, 2}, {1201, 2.5},
+	}
+	for _, c := range cases {
+		got := (float64(d.IsolatedDuration(computeKernel(c.wgs), full)) - 1) / base
+		if got != c.want {
+			t.Errorf("%d WGs: %v waves, want %v", c.wgs, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package gpu models an AMD-style GPU at the granularity KRISP cares about:
+// Shader Engines (SEs) containing Compute Units (CUs), a workgroup
+// dispatcher that splits a kernel's workgroups equally across SEs and
+// round-robins them over the enabled CUs within each SE, per-CU workgroup
+// slots, shared memory bandwidth, and per-CU kernel counters (the Resource
+// Monitor from the paper's §IV-C).
+//
+// The model is deliberately not cycle-accurate: KRISP changes nothing inside
+// the CU pipeline or the threadblock scheduler (paper §V), so the relevant
+// behaviours are which CUs a kernel may use, how workgroup waves quantize
+// latency, how SE imbalance creates bottlenecks, and how oversubscribed CUs
+// divide their slots. All of those are captured here.
+package gpu
+
+import "fmt"
+
+// Topology describes the SE/CU organization of a device.
+type Topology struct {
+	// NumSEs is the number of Shader Engines (GPCs in Nvidia terms).
+	NumSEs int
+	// CUsPerSE is the number of Compute Units in each Shader Engine.
+	CUsPerSE int
+}
+
+// TotalCUs returns the total number of compute units on the device.
+func (t Topology) TotalCUs() int { return t.NumSEs * t.CUsPerSE }
+
+// SEOf returns the shader engine that physical CU cu belongs to.
+func (t Topology) SEOf(cu int) int { return cu / t.CUsPerSE }
+
+// CUIndex returns the physical CU id for (se, cuInSE).
+func (t Topology) CUIndex(se, cuInSE int) int { return se*t.CUsPerSE + cuInSE }
+
+// Validate reports whether the topology is usable.
+func (t Topology) Validate() error {
+	if t.NumSEs <= 0 || t.CUsPerSE <= 0 {
+		return fmt.Errorf("gpu: invalid topology %d SEs x %d CUs", t.NumSEs, t.CUsPerSE)
+	}
+	if t.TotalCUs() > MaxCUs {
+		return fmt.Errorf("gpu: topology has %d CUs, max supported is %d", t.TotalCUs(), MaxCUs)
+	}
+	return nil
+}
+
+func (t Topology) String() string {
+	return fmt.Sprintf("%d SEs x %d CUs (%d total)", t.NumSEs, t.CUsPerSE, t.TotalCUs())
+}
+
+// MI50 is the topology of the AMD MI50 used throughout the paper:
+// 60 CUs organized as 4 Shader Engines of 15 CUs each.
+var MI50 = Topology{NumSEs: 4, CUsPerSE: 15}
+
+// MI100 is the AMD MI100: 120 CUs as 8 Shader Engines of 15 CUs. Included
+// to demonstrate that nothing in the stack is MI50-specific.
+var MI100 = Topology{NumSEs: 8, CUsPerSE: 15}

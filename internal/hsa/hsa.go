@@ -1,0 +1,376 @@
+// Package hsa models the slice of the ROCm runtime stack that KRISP
+// touches (paper §IV-D, Fig. 9/10): software HSA queues holding AQL
+// packets, completion signals, barrier-AND packets, a command processor
+// whose packet processor consumes packets, per-queue CU masks settable
+// through an IOCTL (AMD's stream-scoped CU Masking API), and — when
+// kernel-scoped partition instances are enabled — the KRISP extension that
+// reads a partition-size field from the kernel packet and generates a
+// per-kernel resource mask with Algorithm 1.
+//
+// Queues process their packets in order and serialize kernel execution the
+// way dependent ML inference streams do: packet n+1 is consumed only after
+// packet n's kernel has completed.
+package hsa
+
+import (
+	"krisp/internal/alloc"
+	"krisp/internal/gpu"
+	"krisp/internal/kernels"
+	"krisp/internal/sim"
+)
+
+// Signal is an HSA completion signal: a counter that barrier packets and
+// host code can wait on. It is decremented by Complete; observers fire
+// when it reaches zero.
+type Signal struct {
+	value   int
+	waiters []func()
+}
+
+// NewSignal creates a signal with the given initial value. A value of 0 is
+// already complete.
+func NewSignal(initial int) *Signal { return &Signal{value: initial} }
+
+// Done reports whether the signal has reached zero.
+func (s *Signal) Done() bool { return s.value <= 0 }
+
+// Complete decrements the signal; at zero all waiters fire (once).
+func (s *Signal) Complete() {
+	if s.value <= 0 {
+		return
+	}
+	s.value--
+	if s.value == 0 {
+		ws := s.waiters
+		s.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// OnDone registers fn to run when the signal completes; if it already has,
+// fn runs immediately.
+func (s *Signal) OnDone(fn func()) {
+	if s.Done() {
+		fn()
+		return
+	}
+	s.waiters = append(s.waiters, fn)
+}
+
+// PacketType discriminates AQL packets.
+type PacketType int
+
+const (
+	// KernelDispatch launches a kernel.
+	KernelDispatch PacketType = iota
+	// BarrierAND blocks the queue until all dependency signals complete.
+	BarrierAND
+)
+
+// Packet is an architected queuing language (AQL) packet.
+type Packet struct {
+	Type PacketType
+
+	// Kernel dispatch fields.
+	Kernel kernels.Desc
+	// PartitionCUs is KRISP's extension to the AQL kernel packet: the
+	// partition size injected by kernel-wise right-sizing in the runtime.
+	// Zero means "no kernel-scoped partition" and the kernel inherits the
+	// queue's CU mask (baseline stream-scoped behaviour).
+	PartitionCUs int
+	// OverlapLimit bounds how many already-busy CUs the generated mask may
+	// include (see alloc.Request). Only meaningful with PartitionCUs > 0.
+	OverlapLimit int
+
+	// Barrier fields: the packet is consumed once all DepSignals are done.
+	DepSignals []*Signal
+	// Callback runs in the runtime when the barrier packet is consumed —
+	// the hook KRISP's emulation uses to reconfigure the queue mask
+	// between kernels (Fig. 11b step 2).
+	Callback func()
+
+	// Completion, if non-nil, is completed when the packet finishes
+	// (kernel completed, or barrier consumed).
+	Completion *Signal
+
+	// OnDispatch, if non-nil, runs when a kernel packet is handed to the
+	// device, with the resource mask it was granted. Tracing hook.
+	OnDispatch func(mask gpu.CUMask)
+}
+
+// Config parameterizes the command processor.
+type Config struct {
+	// PacketProcessTime is the fixed cost to consume any AQL packet
+	// (runtime launch path + packet processor), per packet.
+	PacketProcessTime sim.Duration
+	// MaskAllocTime is the added firmware cost of running the resource
+	// mask generation algorithm for kernel-scoped partitions. The paper
+	// measured a 1us tail for Algorithm 1.
+	MaskAllocTime sim.Duration
+	// IOCTLLatency is the cost of the CU-mask IOCTL syscall behind the
+	// stream-scoped CU Masking API. IOCTLs serialize in the ROCm runtime
+	// (paper §V-B), which this model enforces globally.
+	IOCTLLatency sim.Duration
+	// KernelScoped enables KRISP's hardware support: the packet processor
+	// honours PartitionCUs and generates a per-kernel resource mask.
+	KernelScoped bool
+	// AllocPolicy is the distribution policy used for kernel-scoped masks.
+	// The zero value is alloc.Conserved, KRISP's choice.
+	AllocPolicy alloc.Policy
+	// NoFairShare disables the fair-share progress floor in kernel-scoped
+	// allocation (ablation knob): starved kernels then run on whatever
+	// scraps the overlap limit leaves them.
+	NoFairShare bool
+}
+
+// DefaultConfig matches the measurements the paper reports: ~6us launch
+// path, 1us for mask generation, 20us per CU-mask IOCTL.
+func DefaultConfig() Config {
+	return Config{
+		PacketProcessTime: 6,
+		MaskAllocTime:     1,
+		IOCTLLatency:      20,
+	}
+}
+
+// CommandProcessor consumes AQL packets from queues and dispatches kernels
+// to the device.
+type CommandProcessor struct {
+	cfg Config
+	eng *sim.Engine
+	dev *gpu.Device
+
+	// ioctlFreeAt implements global IOCTL serialization.
+	ioctlFreeAt sim.Time
+	nextQueueID int
+	queues      []*Queue
+
+	// DispatchCount counts kernels launched (for tests and stats).
+	DispatchCount int
+}
+
+// ActiveStreams returns the number of queues currently holding or
+// processing packets — the concurrency the allocator's fair-share floor is
+// computed against.
+func (cp *CommandProcessor) ActiveStreams() int {
+	n := 0
+	for _, q := range cp.queues {
+		if q.busy || len(q.packets) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FairShare returns the per-stream fair share of CUs given current queue
+// activity: the whole device for a lone stream.
+func (cp *CommandProcessor) FairShare() int {
+	active := cp.ActiveStreams()
+	if active < 1 {
+		active = 1
+	}
+	return cp.dev.Spec.Topo.TotalCUs() / active
+}
+
+// NewCommandProcessor creates a command processor bound to a device.
+func NewCommandProcessor(eng *sim.Engine, dev *gpu.Device, cfg Config) *CommandProcessor {
+	return &CommandProcessor{cfg: cfg, eng: eng, dev: dev}
+}
+
+// Device returns the device this command processor dispatches to.
+func (cp *CommandProcessor) Device() *gpu.Device { return cp.dev }
+
+// Config returns the command processor configuration.
+func (cp *CommandProcessor) Config() Config { return cp.cfg }
+
+// Queue is a software HSA queue. Packets submitted to it are consumed in
+// FIFO order; kernel packets serialize on completion.
+type Queue struct {
+	ID   int
+	cp   *CommandProcessor
+	mask gpu.CUMask
+
+	packets []Packet
+	busy    bool // a packet from this queue is being processed or executing
+}
+
+// NewQueue allocates a queue whose initial CU mask is the full device.
+func (cp *CommandProcessor) NewQueue() *Queue {
+	cp.nextQueueID++
+	q := &Queue{
+		ID:   cp.nextQueueID,
+		cp:   cp,
+		mask: gpu.FullMask(cp.dev.Spec.Topo),
+	}
+	cp.queues = append(cp.queues, q)
+	return q
+}
+
+// CUMask returns the queue's current stream-scoped CU mask.
+func (q *Queue) CUMask() gpu.CUMask { return q.mask }
+
+// SetCUMask models the CU Masking API: an HSA runtime call backed by an
+// IOCTL. The mask takes effect after the (globally serialized) IOCTL
+// completes; onApplied, if non-nil, runs at that point. Kernels dispatched
+// before the IOCTL completes use the old mask — the race the paper's
+// emulation methodology guards against with its second barrier packet.
+func (q *Queue) SetCUMask(mask gpu.CUMask, onApplied func()) {
+	if mask.IsEmpty() {
+		panic("hsa: SetCUMask with empty mask")
+	}
+	cp := q.cp
+	start := cp.eng.Now()
+	if cp.ioctlFreeAt > start {
+		start = cp.ioctlFreeAt
+	}
+	applyAt := start + cp.cfg.IOCTLLatency
+	cp.ioctlFreeAt = applyAt
+	cp.eng.At(applyAt, func() {
+		q.mask = mask
+		if onApplied != nil {
+			onApplied()
+		}
+	})
+}
+
+// Submit enqueues a packet and rings the doorbell.
+func (q *Queue) Submit(p Packet) {
+	q.packets = append(q.packets, p)
+	q.pump()
+}
+
+// SubmitKernel is a convenience wrapper: enqueue a kernel dispatch whose
+// completion invokes onDone.
+func (q *Queue) SubmitKernel(d kernels.Desc, onDone func()) {
+	q.submitKernel(d, 0, 0, onDone)
+}
+
+// SubmitKernelScoped enqueues a kernel dispatch carrying KRISP's partition
+// size and overlap limit in the extended AQL fields.
+func (q *Queue) SubmitKernelScoped(d kernels.Desc, partitionCUs, overlapLimit int, onDone func()) {
+	q.submitKernel(d, partitionCUs, overlapLimit, onDone)
+}
+
+func (q *Queue) submitKernel(d kernels.Desc, cus, limit int, onDone func()) {
+	sig := NewSignal(1)
+	if onDone != nil {
+		sig.OnDone(onDone)
+	}
+	q.Submit(Packet{
+		Type:         KernelDispatch,
+		Kernel:       d,
+		PartitionCUs: cus,
+		OverlapLimit: limit,
+		Completion:   sig,
+	})
+}
+
+// SubmitBarrier enqueues a barrier-AND packet. callback runs when the
+// barrier is consumed (after deps complete); completion, if non-nil, is
+// completed at the same point.
+func (q *Queue) SubmitBarrier(deps []*Signal, callback func(), completion *Signal) {
+	q.Submit(Packet{
+		Type:       BarrierAND,
+		DepSignals: deps,
+		Callback:   callback,
+		Completion: completion,
+	})
+}
+
+// Pending returns the number of packets waiting in the queue (not counting
+// one currently being processed).
+func (q *Queue) Pending() int { return len(q.packets) }
+
+// pump consumes the next packet if the queue is idle.
+func (q *Queue) pump() {
+	if q.busy || len(q.packets) == 0 {
+		return
+	}
+	q.busy = true
+	p := q.packets[0]
+	q.packets = q.packets[1:]
+	switch p.Type {
+	case KernelDispatch:
+		q.processKernel(p)
+	case BarrierAND:
+		q.processBarrier(p)
+	default:
+		panic("hsa: unknown packet type")
+	}
+}
+
+func (q *Queue) processKernel(p Packet) {
+	cp := q.cp
+	cost := cp.cfg.PacketProcessTime
+	kernelScoped := cp.cfg.KernelScoped && p.PartitionCUs > 0
+	if kernelScoped {
+		cost += cp.cfg.MaskAllocTime
+	}
+	cp.eng.After(cost, func() {
+		mask := q.mask
+		if kernelScoped {
+			// KRISP packet processor: generate the kernel resource mask
+			// from the live Resource Monitor counters. The fair share of
+			// the device is passed as the progress floor.
+			minGrant := cp.FairShare()
+			if cp.cfg.NoFairShare {
+				minGrant = 0
+			}
+			mask = alloc.GenerateMask(cp.dev.Spec.Topo, cp.dev.Counters(), alloc.Request{
+				NumCUs:       p.PartitionCUs,
+				OverlapLimit: p.OverlapLimit,
+				Policy:       cp.cfg.AllocPolicy,
+				MinGrant:     minGrant,
+			})
+		}
+		cp.DispatchCount++
+		if p.OnDispatch != nil {
+			p.OnDispatch(mask)
+		}
+		cp.dev.Launch(p.Kernel.Work, mask, func() {
+			if p.Completion != nil {
+				p.Completion.Complete()
+			}
+			q.busy = false
+			q.pump()
+		})
+	})
+}
+
+func (q *Queue) processBarrier(p Packet) {
+	cp := q.cp
+	cp.eng.After(cp.cfg.PacketProcessTime, func() {
+		fire := func() {
+			if p.Callback != nil {
+				p.Callback()
+			}
+			if p.Completion != nil {
+				p.Completion.Complete()
+			}
+			q.busy = false
+			q.pump()
+		}
+		remaining := 0
+		for _, s := range p.DepSignals {
+			if !s.Done() {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			fire()
+			return
+		}
+		for _, s := range p.DepSignals {
+			if !s.Done() {
+				s.OnDone(func() {
+					remaining--
+					if remaining == 0 {
+						fire()
+					}
+				})
+			}
+		}
+	})
+}

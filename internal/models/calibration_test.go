@@ -1,0 +1,141 @@
+package models
+
+import (
+	"testing"
+
+	"krisp/internal/profile"
+)
+
+// TestTableIIICalibration pins the synthetic workloads to the paper's
+// Table III: exact kernel counts, model right-size within tolerance, and
+// isolated latency in the right ballpark. If the performance model drifts,
+// this test catches it.
+func TestTableIIICalibration(t *testing.T) {
+	p := profile.New(profile.DefaultConfig())
+	for _, m := range TableIII() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			ks := m.Kernels(CalibrationBatch)
+			if got := len(ks); got != m.PaperKernels {
+				t.Errorf("kernel count = %d, want %d (Table III)", got, m.PaperKernels)
+			}
+			rs := p.ModelRightSize(ks)
+			if diff := rs - m.PaperRightSize; diff < -5 || diff > 5 {
+				t.Errorf("right-size = %d CUs, want %d +-5 (Table III)", rs, m.PaperRightSize)
+			}
+			latMs := float64(p.ModelLatency(ks, 60)) / 1000
+			lo, hi := m.PaperP95Ms*0.55, m.PaperP95Ms*1.8
+			if latMs < lo || latMs > hi {
+				t.Errorf("isolated latency = %.1fms, want within [%.1f, %.1f] of paper's %vms",
+					latMs, lo, hi, m.PaperP95Ms)
+			}
+		})
+	}
+}
+
+func TestAllModelsBuildAtEveryBatch(t *testing.T) {
+	for _, m := range All() {
+		for _, b := range []int{1, 8, 16, 32} {
+			ks := m.Kernels(b)
+			if len(ks) != m.PaperKernels {
+				t.Errorf("%s at batch %d: %d kernels, want %d (count is batch-invariant)",
+					m.Name, b, len(ks), m.PaperKernels)
+			}
+			for i, k := range ks {
+				if k.Work.Workgroups < 1 || k.Work.WGTime <= 0 {
+					t.Fatalf("%s batch %d kernel %d (%s): invalid work %+v",
+						m.Name, b, i, k.Name, k.Work)
+				}
+			}
+		}
+	}
+}
+
+func TestSmallerBatchShrinksWork(t *testing.T) {
+	for _, m := range All() {
+		big := m.Kernels(32)
+		small := m.Kernels(8)
+		var bigWG, smallWG int
+		for i := range big {
+			bigWG += big[i].Work.Workgroups
+			smallWG += small[i].Work.Workgroups
+		}
+		if smallWG >= bigWG {
+			t.Errorf("%s: batch 8 has %d WGs, batch 32 has %d — no shrink", m.Name, smallWG, bigWG)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, ok := ByName("albert")
+	if !ok || m.Name != "albert" {
+		t.Errorf("ByName(albert) = %v, %v", m.Name, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) found a model")
+	}
+	if len(Names()) != 9 {
+		t.Errorf("Names() has %d entries, want 9", len(Names()))
+	}
+	if len(TableIII()) != 8 {
+		t.Errorf("TableIII() has %d entries, want 8", len(TableIII()))
+	}
+}
+
+func TestKernelsPanicsOnBadBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("batch 0 did not panic")
+		}
+	}()
+	albert.Kernels(0)
+}
+
+// TestFig4PhaseBehaviour checks the kernel-trace shapes of Fig. 4: albert
+// is mostly low-minCU with periodic full-GPU spikes; resnext101 is mostly
+// high-minCU with dips.
+func TestFig4PhaseBehaviour(t *testing.T) {
+	p := profile.New(profile.DefaultConfig())
+
+	count := func(m Model, pred func(int) bool) (matching, total int) {
+		for _, k := range m.Kernels(CalibrationBatch) {
+			if pred(p.KernelMinCU(k.Work)) {
+				matching++
+			}
+			total++
+		}
+		return matching, total
+	}
+
+	low, total := count(albert, func(mc int) bool { return mc <= 15 })
+	if frac := float64(low) / float64(total); frac < 0.7 {
+		t.Errorf("albert: only %.0f%% of kernels have minCU <= 15, want >= 70%%", frac*100)
+	}
+	spikes, _ := count(albert, func(mc int) bool { return mc >= 50 })
+	if spikes < 10 {
+		t.Errorf("albert: %d full-GPU spike kernels, want >= 10 (Fig. 4 top)", spikes)
+	}
+
+	high, total := count(resnext101, func(mc int) bool { return mc >= 30 })
+	if frac := float64(high) / float64(total); frac < 0.2 {
+		t.Errorf("resnext101: only %.0f%% of kernels have minCU >= 30, want >= 20%%", frac*100)
+	}
+	dips, _ := count(resnext101, func(mc int) bool { return mc <= 20 })
+	if dips < 50 {
+		t.Errorf("resnext101: %d low-minCU kernels, want >= 50 (Fig. 4 bottom dips)", dips)
+	}
+	// Time-weighted, resnext101 spends most of its pass in kernels that
+	// need more than half the machine ("most kernels require more than
+	// half of the available CUs").
+	var highTime, totalTime float64
+	for _, k := range resnext101.Kernels(CalibrationBatch) {
+		d := float64(p.KernelLatency(k.Work, 60))
+		totalTime += d
+		if p.KernelMinCU(k.Work) >= 30 {
+			highTime += d
+		}
+	}
+	if frac := highTime / totalTime; frac < 0.5 {
+		t.Errorf("resnext101: only %.0f%% of execution time in minCU>=30 kernels, want >= 50%%", frac*100)
+	}
+}

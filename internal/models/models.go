@@ -1,0 +1,533 @@
+// Package models defines the nine inference workloads of the paper's
+// evaluation (Table III plus the ninth model of Fig. 3) as kernel-call
+// sequence generators.
+//
+// The real workloads are PyTorch models running through MIOpen/rocBLAS;
+// with no ROCm stack available, each model here is a synthetic sequence
+// calibrated to preserve exactly what KRISP's argument consumes:
+//
+//   - the number of kernel calls per inference pass (matches Table III
+//     exactly at batch 32);
+//   - the per-kernel minimum-required-CU profile, including the phase
+//     behaviour of Fig. 4 (albert mostly <=12 with periodic 60-CU spikes;
+//     resnext101 mostly >30 with dips);
+//   - the model-wise right-size (Table III within a small tolerance);
+//   - the isolated 95% latency ballpark (Table III, virtual milliseconds).
+//
+// Kernel sequences scale with batch size: workgroup counts and memory
+// traffic shrink proportionally below the calibration batch of 32, which
+// reproduces the paper's batch-sensitivity behaviour (Fig. 14).
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"krisp/internal/gpu"
+	"krisp/internal/kernels"
+	"krisp/internal/sim"
+)
+
+// CalibrationBatch is the batch size the sequences are calibrated at.
+const CalibrationBatch = 32
+
+// slotsPerCU mirrors gpu.MI50Spec().SlotsPerCU; kernel knees are expressed
+// in CU counts via workgroup quantization against this value.
+const slotsPerCU = 10
+
+// Model is a named inference workload.
+type Model struct {
+	// Name is the workload name as used in the paper's tables.
+	Name string
+	// PaperKernels is the kernel-call count Table III reports (batch 32).
+	PaperKernels int
+	// PaperRightSize is the model-wise right-size Table III reports.
+	PaperRightSize int
+	// PaperP95Ms is the isolated 95% tail latency Table III reports.
+	PaperP95Ms float64
+
+	build func(batch int) []kernels.Desc
+}
+
+// Kernels returns the kernel-call sequence for one inference pass at the
+// given batch size. Batch must be positive.
+func (m Model) Kernels(batch int) []kernels.Desc {
+	if batch < 1 {
+		panic(fmt.Sprintf("models: batch %d", batch))
+	}
+	return m.build(batch)
+}
+
+// All lists every workload, in the paper's Table III order, with
+// mobilenet_v2 appended as the ninth Fig. 3 model.
+func All() []Model {
+	return []Model{
+		albert, alexnet, densenet201, resnet152, resnext101,
+		shufflenet, squeezenet, vgg19, mobilenet,
+	}
+}
+
+// TableIII lists the eight models evaluated in the paper's main results.
+func TableIII() []Model {
+	return []Model{
+		albert, alexnet, densenet201, resnet152, resnext101,
+		shufflenet, squeezenet, vgg19,
+	}
+}
+
+// ByName returns the model with the given name.
+func ByName(name string) (Model, bool) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// Names returns all model names, sorted.
+func Names() []string {
+	var out []string
+	for _, m := range All() {
+		out = append(out, m.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Sequence-building helpers.
+
+// scale returns n scaled by batch relative to the calibration batch,
+// floored at 1.
+func scale(n, batch int) int {
+	v := n * batch / CalibrationBatch
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// dom builds a compute-bound kernel whose minimum required CUs is minCU at
+// the calibration batch: it issues minCU x slots workgroups (one wave at or
+// above minCU CUs, two below) and runs for execUs on the full GPU.
+func dom(name string, minCU int, execUs float64, batch int) kernels.Desc {
+	wgs := scale(minCU*slotsPerCU, batch)
+	return kernels.Desc{
+		Name: name,
+		Work: gpu.KernelWork{
+			Workgroups:   wgs,
+			ThreadsPerWG: 256,
+			WGTime:       sim.Duration(execUs),
+			MemBytes:     float64(wgs) * 256 * 16,
+			Tail:         0.5,
+			WaveExponent: 0.5,
+		},
+		InputBytes: float64(wgs) * 256 * 4,
+	}
+}
+
+// spike builds a short kernel that needs the whole GPU: 600 workgroups
+// (one wave only at 60 CUs). These are the periodic full-width spikes in
+// albert's Fig. 4 trace.
+func spike(name string, execUs float64, batch int) kernels.Desc {
+	return dom(name, 60, execUs, batch)
+}
+
+// memk builds a bandwidth-bound kernel moving mbytes of DRAM traffic; its
+// minimum required CUs is small regardless of thread count.
+func memk(name string, mbytes float64, batch int) kernels.Desc {
+	bytes := mbytes * 1e6 * float64(batch) / CalibrationBatch
+	wgs := int(bytes / 4 / 4096)
+	if wgs < 1 {
+		wgs = 1
+	}
+	return kernels.Desc{
+		Name: name,
+		Work: gpu.KernelWork{
+			Workgroups:   wgs,
+			ThreadsPerWG: 256,
+			WGTime:       0.05,
+			MemBytes:     bytes,
+			Tail:         0.5,
+		},
+		InputBytes: bytes / 2,
+	}
+}
+
+// tiny builds a launch-overhead-dominated helper kernel (reshape, copy,
+// bias, scalar ops) — the long tail of PyTorch kernel launches.
+func tiny(name string, batch int) kernels.Desc {
+	wgs := scale(40, batch)
+	return kernels.Desc{
+		Name: name,
+		Work: gpu.KernelWork{
+			Workgroups:   wgs,
+			ThreadsPerWG: 256,
+			WGTime:       0.1,
+			MemBytes:     float64(wgs) * 4096,
+			Tail:         0.5,
+		},
+		InputBytes: float64(wgs) * 2048,
+	}
+}
+
+// seq collects kernel descriptors while a recipe is assembled.
+type seq struct{ ks []kernels.Desc }
+
+func (s *seq) add(ds ...kernels.Desc) { s.ks = append(s.ks, ds...) }
+
+// ---------------------------------------------------------------------------
+// albert: 304 kernels, right-size 12, p95 ~27ms. A 12-layer transformer:
+// six dominant GEMM-class kernels per layer with a 12-CU knee, one brief
+// full-GPU spike, plus normalization and pointwise helpers.
+var albert = Model{
+	Name: "albert", PaperKernels: 304, PaperRightSize: 12, PaperP95Ms: 27,
+	build: func(b int) []kernels.Desc {
+		var s seq
+		s.add(kernels.Embedding(scale(32*128, b), 768))
+		for layer := 0; layer < 12; layer++ {
+			s.add(
+				dom(kernels.FamilyGEMM+"_qkv", 12, 310, b),
+				dom(kernels.FamilyGEMMSmall+"_qk_bmm", 12, 300, b),
+				kernels.Softmax(scale(32*12*128, b), 128),
+				dom(kernels.FamilyGEMMSmall+"_av_bmm", 12, 300, b),
+				dom(kernels.FamilyGEMM+"_attn_out", 12, 310, b),
+				memk(kernels.FamilyElementwise+"_residual1", 13, b),
+				kernels.LayerNorm(scale(32*128, b), 768),
+				dom(kernels.FamilyGEMM+"_ffn1", 12, 320, b),
+				memk(kernels.FamilyElementwise+"_gelu", 50, b),
+				dom(kernels.FamilyGEMM+"_ffn2", 12, 320, b),
+				memk(kernels.FamilyElementwise+"_residual2", 13, b),
+				kernels.LayerNorm(scale(32*128, b), 768),
+				spike(kernels.FamilyReduce+"_allsum", 15, b),
+			)
+			for i := 0; i < 12; i++ {
+				s.add(tiny(fmt.Sprintf("%s_h%d", kernels.FamilyElementwise, i), b))
+			}
+		}
+		s.add(
+			dom(kernels.FamilyGEMM+"_pooler", 12, 300, b),
+			memk(kernels.FamilyElementwise+"_tanh", 3, b),
+			dom(kernels.FamilyGEMMSmall+"_classifier", 8, 120, b),
+		)
+		return s.ks
+	},
+}
+
+// alexnet: 34 kernels, right-size 45, p95 ~91ms. Five fat convolutions
+// dominate; classifier GEMMs and pointwise helpers fill the rest.
+var alexnet = Model{
+	Name: "alexnet", PaperKernels: 34, PaperRightSize: 45, PaperP95Ms: 91,
+	build: func(b int) []kernels.Desc {
+		var s seq
+		// One conv pins the kneepoint at 45; the rest saturate at modest
+		// occupancy, so restriction degrades gracefully — the
+		// real-hardware behaviour behind Table IV's alexnet row (every
+		// policy reaches 4 workers).
+		convT := []float64{23000, 14500, 13500, 13000, 12500}
+		convK := []int{45, 18, 16, 14, 12}
+		for i, t := range convT {
+			s.add(
+				dom(fmt.Sprintf("%s_c%d", kernels.FamilyConvDirect, i+1), convK[i], t, b),
+				memk(kernels.FamilyElementwise+"_relu", 25, b),
+			)
+		}
+		s.add(
+			kernels.Pooling(b, 64, 55, 55, 2),
+			kernels.Pooling(b, 192, 27, 27, 2),
+			kernels.Pooling(b, 256, 13, 13, 2),
+			memk(kernels.FamilyBatchNorm+"_lrn1", 30, b),
+			memk(kernels.FamilyBatchNorm+"_lrn2", 30, b),
+			tiny("Flatten", b),
+			dom(kernels.FamilyGEMM+"_fc6", 26, 3200, b),
+			memk(kernels.FamilyElementwise+"_relu_fc6", 4, b),
+			dom(kernels.FamilyGEMM+"_fc7", 26, 2400, b),
+			memk(kernels.FamilyElementwise+"_relu_fc7", 4, b),
+			dom(kernels.FamilyGEMMSmall+"_fc8", 10, 600, b),
+		)
+		for i := 0; i < 13; i++ {
+			s.add(tiny(fmt.Sprintf("%s_bias%d", kernels.FamilyElementwise, i), b))
+		}
+		return s.ks
+	},
+}
+
+// densenet201: 711 kernels, right-size 32, p95 ~72ms. 98 dense layers of
+// bn-relu-conv1x1-bn-relu-conv3x3-concat, three transitions, stem, head.
+var densenet201 = Model{
+	Name: "densenet201", PaperKernels: 711, PaperRightSize: 32, PaperP95Ms: 72,
+	build: func(b int) []kernels.Desc {
+		var s seq
+		s.add(
+			dom(kernels.FamilyConvDirect+"_stem", 32, 700, b),
+			memk(kernels.FamilyBatchNorm+"_stem", 25, b),
+			memk(kernels.FamilyElementwise+"_relu_stem", 25, b),
+			kernels.Pooling(b, 64, 112, 112, 2),
+		)
+		denseLayers := 98
+		for l := 0; l < denseLayers; l++ {
+			s.add(
+				memk(kernels.FamilyBatchNorm+"_d", 8, b),
+				memk(kernels.FamilyElementwise+"_relu_d", 8, b),
+				dom(kernels.FamilyGEMMSmall+"_conv1x1", 20, 230, b),
+				memk(kernels.FamilyBatchNorm+"_d2", 3, b),
+				memk(kernels.FamilyElementwise+"_relu_d2", 3, b),
+				dom(kernels.FamilyConvDirect+"_conv3x3", 32, 330, b),
+				memk(kernels.FamilyElementwise+"_concat", 60, b),
+			)
+		}
+		for t := 0; t < 3; t++ {
+			s.add(
+				memk(kernels.FamilyBatchNorm+"_t", 10, b),
+				memk(kernels.FamilyElementwise+"_relu_t", 10, b),
+				dom(kernels.FamilyGEMMSmall+"_tconv", 20, 260, b),
+				kernels.Pooling(b, 256, 28, 28, 2),
+				tiny(kernels.FamilyElementwise+"_tcopy", b),
+				tiny(kernels.FamilyElementwise+"_tpad", b),
+			)
+		}
+		s.add(
+			kernels.Pooling(b, 1920, 7, 7, 7),
+			dom(kernels.FamilyGEMMSmall+"_classifier", 10, 220, b),
+			kernels.Softmax(scale(32, b), 1000),
+		)
+		return s.ks
+	},
+}
+
+// resnet152: 517 kernels, right-size 26, p95 ~11ms. 50 bottleneck blocks;
+// short kernels make the pass launch-dominated — why its p95 is small
+// despite 517 launches.
+var resnet152 = Model{
+	Name: "resnet152", PaperKernels: 517, PaperRightSize: 26, PaperP95Ms: 11,
+	build: func(b int) []kernels.Desc {
+		var s seq
+		s.add(
+			dom(kernels.FamilyConvDirect+"_stem", 26, 60, b),
+			memk(kernels.FamilyBatchNorm+"_stem", 6, b),
+			memk(kernels.FamilyElementwise+"_relu_stem", 6, b),
+			kernels.Pooling(b, 64, 112, 112, 2),
+		)
+		for blk := 0; blk < 50; blk++ {
+			s.add(
+				dom(kernels.FamilyGEMMSmall+"_reduce1x1", 18, 7, b),
+				memk(kernels.FamilyBatchNorm+"_b1", 1.5, b),
+				memk(kernels.FamilyElementwise+"_relu_b1", 1.5, b),
+				dom(kernels.FamilyConvDirect+"_conv3x3", 26, 34, b),
+				memk(kernels.FamilyBatchNorm+"_b2", 1.5, b),
+				memk(kernels.FamilyElementwise+"_relu_b2", 1.5, b),
+				dom(kernels.FamilyGEMMSmall+"_expand1x1", 14+2*(blk%3), 7, b),
+				memk(kernels.FamilyBatchNorm+"_b3", 1.5, b),
+				memk(kernels.FamilyElementwise+"_addres", 3, b),
+				memk(kernels.FamilyElementwise+"_relu_b3", 1.5, b),
+			)
+		}
+		s.add(
+			kernels.Pooling(b, 2048, 7, 7, 7),
+			tiny("Flatten", b),
+			dom(kernels.FamilyGEMMSmall+"_fc", 10, 40, b),
+		)
+		for i := 0; i < 10; i++ {
+			s.add(tiny(fmt.Sprintf("%s_h%d", kernels.FamilyElementwise, i), b))
+		}
+		return s.ks
+	},
+}
+
+// resnext101: 347 kernels, right-size 55, p95 ~154ms. Grouped convolutions
+// keep most kernels above 30 required CUs (Fig. 4 bottom), with brief
+// normalization dips.
+var resnext101 = Model{
+	Name: "resnext101", PaperKernels: 347, PaperRightSize: 55, PaperP95Ms: 154,
+	build: func(b int) []kernels.Desc {
+		var s seq
+		s.add(
+			dom(kernels.FamilyConvDirect+"_stem", 55, 1500, b),
+			memk(kernels.FamilyBatchNorm+"_stem", 25, b),
+			memk(kernels.FamilyElementwise+"_relu_stem", 25, b),
+			kernels.Pooling(b, 64, 112, 112, 2),
+		)
+		// Knees staggered 55/48/40/32 across the pass: most kernels need
+		// more than half the machine (Fig. 4 bottom), but restriction
+		// degrades gradually rather than cliff-like.
+		grpK := []int{55, 55, 48, 40}
+		for blk := 0; blk < 33; blk++ {
+			s.add(
+				dom(kernels.FamilyGEMM+"_reduce1x1", 32+4*(blk%3), 900, b),
+				memk(kernels.FamilyBatchNorm+"_x1", 6, b),
+				memk(kernels.FamilyElementwise+"_relu_x1", 6, b),
+				dom(kernels.FamilyConvGroup+"_grp32", grpK[blk%len(grpK)], 2200, b),
+				memk(kernels.FamilyBatchNorm+"_x2", 6, b),
+				memk(kernels.FamilyElementwise+"_relu_x2", 6, b),
+				dom(kernels.FamilyGEMM+"_expand1x1", 24+4*(blk%3), 1100, b),
+				memk(kernels.FamilyBatchNorm+"_x3", 6, b),
+				memk(kernels.FamilyElementwise+"_addres", 12, b),
+				memk(kernels.FamilyElementwise+"_relu_x3", 6, b),
+			)
+		}
+		s.add(
+			kernels.Pooling(b, 2048, 7, 7, 7),
+			tiny("Flatten", b),
+			dom(kernels.FamilyGEMMSmall+"_fc", 10, 200, b),
+		)
+		for i := 0; i < 10; i++ {
+			s.add(tiny(fmt.Sprintf("%s_h%d", kernels.FamilyElementwise, i), b))
+		}
+		return s.ks
+	},
+}
+
+// shufflenet: 211 kernels, right-size 21, p95 ~8ms. Pointwise group convs
+// with channel shuffles; short and launch-dominated.
+var shufflenet = Model{
+	Name: "shufflenet", PaperKernels: 211, PaperRightSize: 21, PaperP95Ms: 8,
+	build: func(b int) []kernels.Desc {
+		var s seq
+		s.add(
+			dom(kernels.FamilyConvDirect+"_stem", 21, 70, b),
+			memk(kernels.FamilyBatchNorm+"_stem", 5, b),
+			kernels.Pooling(b, 24, 112, 112, 2),
+		)
+		for u := 0; u < 16; u++ {
+			s.add(
+				dom(kernels.FamilyGEMMSmall+"_pw1", 21, 100, b),
+				memk(kernels.FamilyBatchNorm+"_s1", 1.2, b),
+				memk(kernels.FamilyElementwise+"_relu_s1", 1.2, b),
+				memk(kernels.FamilyConvGroup+"_dw", 6, b),
+				memk(kernels.FamilyBatchNorm+"_s2", 1.2, b),
+				dom(kernels.FamilyGEMMSmall+"_pw2", 21, 100, b),
+				memk(kernels.FamilyBatchNorm+"_s3", 1.2, b),
+				memk(kernels.FamilyElementwise+"_relu_s2", 1.2, b),
+				memk(kernels.FamilyElementwise+"_concat", 2.4, b),
+				memk(kernels.FamilyElementwise+"_shuffle", 2.4, b),
+				tiny(kernels.FamilyElementwise+"_split", b),
+				tiny(kernels.FamilyElementwise+"_copy", b),
+			)
+		}
+		s.add(
+			kernels.Pooling(b, 1024, 7, 7, 7),
+			dom(kernels.FamilyGEMMSmall+"_fc", 10, 40, b),
+		)
+		for i := 0; i < 14; i++ {
+			s.add(tiny(fmt.Sprintf("%s_h%d", kernels.FamilyElementwise, i), b))
+		}
+		return s.ks
+	},
+}
+
+// squeezenet: 90 kernels, right-size 21, p95 ~8ms. Eight fire modules.
+var squeezenet = Model{
+	Name: "squeezenet", PaperKernels: 90, PaperRightSize: 21, PaperP95Ms: 8,
+	build: func(b int) []kernels.Desc {
+		var s seq
+		s.add(
+			dom(kernels.FamilyConvDirect+"_stem", 21, 180, b),
+			memk(kernels.FamilyElementwise+"_relu_stem", 6, b),
+			kernels.Pooling(b, 96, 111, 111, 2),
+		)
+		for f := 0; f < 8; f++ {
+			s.add(
+				dom(kernels.FamilyGEMMSmall+"_squeeze", 21, 230, b),
+				memk(kernels.FamilyElementwise+"_relu_sq", 1.2, b),
+				dom(kernels.FamilyGEMMSmall+"_expand1", 21, 230, b),
+				memk(kernels.FamilyElementwise+"_relu_e1", 1.8, b),
+				dom(kernels.FamilyConvDirect+"_expand3", 21, 260, b),
+				memk(kernels.FamilyElementwise+"_relu_e3", 1.8, b),
+				memk(kernels.FamilyElementwise+"_concat", 3.6, b),
+				tiny(kernels.FamilyElementwise+"_copy1", b),
+				tiny(kernels.FamilyElementwise+"_copy2", b),
+				tiny(kernels.FamilyElementwise+"_pad", b),
+			)
+		}
+		s.add(
+			dom(kernels.FamilyConvDirect+"_conv10", 21, 300, b),
+			memk(kernels.FamilyElementwise+"_relu10", 4, b),
+			kernels.Pooling(b, 1000, 13, 13, 13),
+			kernels.Softmax(scale(32, b), 1000),
+			tiny("Flatten", b),
+			tiny(kernels.FamilyElementwise+"_out", b),
+			tiny(kernels.FamilyElementwise+"_out2", b),
+		)
+		return s.ks
+	},
+}
+
+// vgg19: 62 kernels, right-size 60, p95 ~81ms. Sixteen dense convolutions
+// that need the full machine (600-workgroup multi-wave grids), so any CU
+// restriction immediately degrades throughput (Fig. 3).
+var vgg19 = Model{
+	Name: "vgg19", PaperKernels: 62, PaperRightSize: 60, PaperP95Ms: 81,
+	build: func(b int) []kernels.Desc {
+		var s seq
+		// Three early convs need the full machine, pinning the model-wise
+		// right-size at 60; the remaining convs are latency-bound (their
+		// occupancy saturates around 15-24 CUs), so a 15-CU partition
+		// costs ~1.6x rather than 4x — matching the paper's Table IV,
+		// where Static Equal sustains four vgg19 workers while vgg19's
+		// kneepoint stays at 60.
+		convT := []float64{6500, 6500, 6500, 4600, 4400, 4400, 4200, 4200,
+			4200, 4000, 4000, 4000, 3800, 3800, 3800, 3800}
+		convK := []int{60, 60, 60, 24, 22, 20, 18, 18, 16, 16, 15, 15, 15, 14, 14, 12}
+		for i, t := range convT {
+			s.add(
+				dom(fmt.Sprintf("%s_c%d", kernels.FamilyConvDirect, i+1), convK[i], t, b),
+				memk(kernels.FamilyElementwise+"_relu", 12, b),
+			)
+		}
+		s.add(
+			kernels.Pooling(b, 64, 224, 224, 2),
+			kernels.Pooling(b, 128, 112, 112, 2),
+			kernels.Pooling(b, 256, 56, 56, 2),
+			kernels.Pooling(b, 512, 28, 28, 2),
+			kernels.Pooling(b, 512, 14, 14, 2),
+			tiny("Flatten", b),
+			dom(kernels.FamilyGEMM+"_fc6", 26, 2600, b),
+			memk(kernels.FamilyElementwise+"_relu_fc6", 4, b),
+			dom(kernels.FamilyGEMM+"_fc7", 26, 1900, b),
+			memk(kernels.FamilyElementwise+"_relu_fc7", 4, b),
+			dom(kernels.FamilyGEMMSmall+"_fc8", 10, 500, b),
+		)
+		for i := 0; i < 19; i++ {
+			s.add(tiny(fmt.Sprintf("%s_h%d", kernels.FamilyElementwise, i), b))
+		}
+		return s.ks
+	},
+}
+
+// mobilenet: the ninth Fig. 3 model (mobilenet_v2-class). Depthwise
+// separable blocks; bandwidth-bound depthwise stages keep it tolerant.
+var mobilenet = Model{
+	Name: "mobilenet", PaperKernels: 152, PaperRightSize: 15, PaperP95Ms: 10,
+	build: func(b int) []kernels.Desc {
+		var s seq
+		s.add(
+			dom(kernels.FamilyConvDirect+"_stem", 15, 80, b),
+			memk(kernels.FamilyBatchNorm+"_stem", 5, b),
+			memk(kernels.FamilyElementwise+"_relu6_stem", 5, b),
+		)
+		for blk := 0; blk < 17; blk++ {
+			s.add(
+				dom(kernels.FamilyGEMMSmall+"_expand", 15, 120, b),
+				memk(kernels.FamilyBatchNorm+"_m1", 2, b),
+				memk(kernels.FamilyElementwise+"_relu6_m1", 2, b),
+				memk(kernels.FamilyConvGroup+"_dw", 8, b),
+				memk(kernels.FamilyBatchNorm+"_m2", 2, b),
+				memk(kernels.FamilyElementwise+"_relu6_m2", 2, b),
+				dom(kernels.FamilyGEMMSmall+"_project", 15, 110, b),
+				memk(kernels.FamilyElementwise+"_addres", 4, b),
+			)
+		}
+		s.add(
+			dom(kernels.FamilyGEMMSmall+"_head", 15, 150, b),
+			memk(kernels.FamilyBatchNorm+"_head", 3, b),
+			memk(kernels.FamilyElementwise+"_relu6_head", 3, b),
+			kernels.Pooling(b, 1280, 7, 7, 7),
+			dom(kernels.FamilyGEMMSmall+"_fc", 10, 40, b),
+		)
+		for i := 0; i < 8; i++ {
+			s.add(tiny(fmt.Sprintf("%s_h%d", kernels.FamilyElementwise, i), b))
+		}
+		return s.ks
+	},
+}

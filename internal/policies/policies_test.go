@@ -1,0 +1,157 @@
+package policies
+
+import (
+	"testing"
+
+	"krisp/internal/alloc"
+	"krisp/internal/core"
+	"krisp/internal/gpu"
+)
+
+var mi50 = gpu.MI50
+
+func TestMPSDefaultSharesEverything(t *testing.T) {
+	as := Assign(MPSDefault, mi50, []int{30, 30, 30})
+	if len(as) != 3 {
+		t.Fatalf("%d assignments, want 3", len(as))
+	}
+	for i, a := range as {
+		if a.Mode != core.ModePassthrough {
+			t.Errorf("worker %d mode = %v", i, a.Mode)
+		}
+		if a.QueueMask.Count() != 60 {
+			t.Errorf("worker %d mask = %d CUs, want 60", i, a.QueueMask.Count())
+		}
+	}
+	if !Oversubscribed(as) {
+		t.Error("MPS Default should report overlapping masks")
+	}
+}
+
+func TestStaticEqualDisjoint(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		rs := make([]int, n)
+		as := Assign(StaticEqual, mi50, rs)
+		var union gpu.CUMask
+		for i, a := range as {
+			want := 60 / n
+			if got := a.QueueMask.Count(); got != want {
+				t.Errorf("n=%d worker %d: %d CUs, want %d", n, i, got, want)
+			}
+			if !union.And(a.QueueMask).IsEmpty() {
+				t.Errorf("n=%d worker %d overlaps earlier workers", n, i)
+			}
+			union = union.Or(a.QueueMask)
+		}
+		if Oversubscribed(as) {
+			t.Errorf("n=%d: static equal reported oversubscribed", n)
+		}
+	}
+}
+
+func TestModelRightSizeFitsWithoutOverlap(t *testing.T) {
+	as := Assign(ModelRightSize, mi50, []int{12, 26}) // 38 <= 60
+	if as[0].QueueMask.Count() != 12 || as[1].QueueMask.Count() != 26 {
+		t.Errorf("sizes = %d, %d, want 12, 26",
+			as[0].QueueMask.Count(), as[1].QueueMask.Count())
+	}
+	if !as[0].QueueMask.And(as[1].QueueMask).IsEmpty() {
+		t.Error("fitting partitions overlap")
+	}
+	if Oversubscribed(as) {
+		t.Error("fitting configuration reported oversubscribed")
+	}
+}
+
+func TestModelRightSizeOverlapsWhenFull(t *testing.T) {
+	as := Assign(ModelRightSize, mi50, []int{55, 55}) // 110 > 60
+	if !Oversubscribed(as) {
+		t.Error("oversized configuration not reported oversubscribed")
+	}
+	if as[0].QueueMask.Count() != 55 || as[1].QueueMask.Count() != 55 {
+		t.Error("right-size masks wrong size")
+	}
+}
+
+func TestModelRightSizeClampsSizes(t *testing.T) {
+	as := Assign(ModelRightSize, mi50, []int{0, 99})
+	if as[0].QueueMask.Count() != 1 {
+		t.Errorf("zero right-size mask = %d CUs, want 1", as[0].QueueMask.Count())
+	}
+	if as[1].QueueMask.Count() != 60 {
+		t.Errorf("oversized right-size mask = %d CUs, want 60", as[1].QueueMask.Count())
+	}
+}
+
+func TestKRISPModes(t *testing.T) {
+	aso := Assign(KRISPO, mi50, []int{10, 10})
+	for _, a := range aso {
+		if a.Mode != core.ModeNative || a.OverlapLimit != alloc.NoOverlapLimit {
+			t.Errorf("KRISP-O assignment = %+v", a)
+		}
+	}
+	asi := Assign(KRISPI, mi50, []int{10, 10})
+	for _, a := range asi {
+		if a.Mode != core.ModeNative || a.OverlapLimit != 0 {
+			t.Errorf("KRISP-I assignment = %+v", a)
+		}
+	}
+	if !KRISPO.KernelScoped() || !KRISPI.KernelScoped() || MPSDefault.KernelScoped() {
+		t.Error("KernelScoped wrong")
+	}
+}
+
+func TestMRSRequestAssignments(t *testing.T) {
+	as := Assign(MRSRequest, mi50, []int{12, 55})
+	if as[0].Mode != core.ModeNative || as[1].Mode != core.ModeNative {
+		t.Error("MRS-Request must use kernel-scoped enforcement")
+	}
+	if as[0].FixedPartition != 12 || as[1].FixedPartition != 55 {
+		t.Errorf("fixed partitions = %d, %d, want 12, 55",
+			as[0].FixedPartition, as[1].FixedPartition)
+	}
+	// Clamping.
+	as = Assign(MRSRequest, mi50, []int{0, 99})
+	if as[0].FixedPartition != 1 || as[1].FixedPartition != 60 {
+		t.Errorf("clamped partitions = %d, %d", as[0].FixedPartition, as[1].FixedPartition)
+	}
+	if !MRSRequest.KernelScoped() {
+		t.Error("MRSRequest.KernelScoped() = false")
+	}
+	if k, err := ByName("mrs-request"); err != nil || k != MRSRequest {
+		t.Errorf("ByName(mrs-request) = %v, %v", k, err)
+	}
+	if MRSRequest.Label() != "MRS-Request" {
+		t.Errorf("label = %q", MRSRequest.Label())
+	}
+	// The paper's five-policy grid must not include the extension.
+	for _, k := range All() {
+		if k == MRSRequest {
+			t.Error("All() includes the extension policy")
+		}
+	}
+}
+
+func TestAssignEmpty(t *testing.T) {
+	if got := Assign(KRISPI, mi50, nil); got != nil {
+		t.Errorf("empty assignment = %v, want nil", got)
+	}
+}
+
+func TestNamesRoundTrip(t *testing.T) {
+	for _, k := range All() {
+		parsed, err := ByName(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("ByName(%q) = %v, %v", k.String(), parsed, err)
+		}
+		if k.Label() == "Unknown" {
+			t.Errorf("policy %v has no label", k)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) succeeded")
+	}
+	if Kind(42).String() != "unknown" || Kind(42).Label() != "Unknown" {
+		t.Error("unknown kind formatting wrong")
+	}
+}

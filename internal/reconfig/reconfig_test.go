@@ -1,0 +1,128 @@
+package reconfig
+
+import (
+	"testing"
+
+	"krisp/internal/models"
+	"krisp/internal/sim"
+)
+
+func request(t *testing.T) Request {
+	t.Helper()
+	m, ok := models.ByName("squeezenet")
+	if !ok {
+		t.Fatal("squeezenet missing")
+	}
+	return Request{Model: m, Batch: 32, FromCUs: 40, ToCUs: 20}
+}
+
+func TestRestartPaysFullReload(t *testing.T) {
+	res := Simulate(Restart, request(t))
+	reload := DefaultCosts().ReloadTime()
+	if res.Downtime != reload {
+		t.Errorf("downtime = %v, want %v (full reload)", res.Downtime, reload)
+	}
+	// Effect: drain the in-flight batch (ms) + the 10.5s reload.
+	if res.TimeToEffect < reload {
+		t.Errorf("TimeToEffect = %v, below the reload time %v", res.TimeToEffect, reload)
+	}
+	if res.StaleBatches != 1 {
+		t.Errorf("stale batches = %d, want 1 (the drained batch)", res.StaleBatches)
+	}
+}
+
+func TestShadowMasksDowntimeButNotLatency(t *testing.T) {
+	res := Simulate(Shadow, request(t))
+	c := DefaultCosts()
+	if res.Downtime != c.SwapDowntime {
+		t.Errorf("downtime = %v, want %v (hot-swap pause only)", res.Downtime, c.SwapDowntime)
+	}
+	// The new size still takes ~ReloadTime to arrive...
+	if res.TimeToEffect < c.ReloadTime() {
+		t.Errorf("TimeToEffect = %v, below reload %v", res.TimeToEffect, c.ReloadTime())
+	}
+	// ...and the old-size instance keeps serving throughout, so many
+	// stale batches complete (10.5s / ~8ms batches).
+	if res.StaleBatches < 100 {
+		t.Errorf("stale batches = %d, want >= 100 (serving continues on old size)", res.StaleBatches)
+	}
+}
+
+func TestKernelScopedResizesAtKernelBoundary(t *testing.T) {
+	res := Simulate(KernelScoped, request(t))
+	if res.Downtime != 0 {
+		t.Errorf("downtime = %v, want 0", res.Downtime)
+	}
+	// The request lands mid-batch; the next kernel already runs at the
+	// new size — sub-millisecond, versus ~10.5s for process-scoped.
+	if res.TimeToEffect > 1000 {
+		t.Errorf("TimeToEffect = %vus, want < 1000us (next kernel boundary)", res.TimeToEffect)
+	}
+	if res.StaleBatches != 0 {
+		t.Errorf("stale batches = %d, want 0 (resize lands mid-batch)", res.StaleBatches)
+	}
+}
+
+func TestSchemeOrdering(t *testing.T) {
+	req := request(t)
+	restart := Simulate(Restart, req)
+	shadow := Simulate(Shadow, req)
+	kernel := Simulate(KernelScoped, req)
+	// Time-to-effect: kernel-scoped orders of magnitude below both
+	// process-scoped schemes.
+	if kernel.TimeToEffect*1000 > restart.TimeToEffect || kernel.TimeToEffect*1000 > shadow.TimeToEffect {
+		t.Errorf("kernel-scoped effect %v not >=1000x faster than restart %v / shadow %v",
+			kernel.TimeToEffect, restart.TimeToEffect, shadow.TimeToEffect)
+	}
+	// Downtime: restart >> shadow > kernel.
+	if !(restart.Downtime > shadow.Downtime && shadow.Downtime > kernel.Downtime) {
+		t.Errorf("downtime ordering wrong: restart %v, shadow %v, kernel %v",
+			restart.Downtime, shadow.Downtime, kernel.Downtime)
+	}
+}
+
+func TestGrowAndShrinkBothWork(t *testing.T) {
+	req := request(t)
+	req.FromCUs, req.ToCUs = 15, 45 // grow
+	res := Simulate(KernelScoped, req)
+	if res.EffectAt < 0 {
+		t.Fatal("grow resize never took effect")
+	}
+	req.FromCUs, req.ToCUs = 45, 15 // shrink
+	res = Simulate(KernelScoped, req)
+	if res.EffectAt < 0 {
+		t.Fatal("shrink resize never took effect")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	m, _ := models.ByName("squeezenet")
+	res := Simulate(KernelScoped, Request{Model: m, FromCUs: 30, ToCUs: 20})
+	if res.EffectAt < 0 || res.RequestAt < 0 {
+		t.Fatalf("defaulted request did not complete: %+v", res)
+	}
+}
+
+func TestCostsReload(t *testing.T) {
+	c := Costs{PartitionSetup: 1, ProcessStart: 2, ModelLoad: 3, SwapDowntime: 4}
+	if got := c.ReloadTime(); got != 6 {
+		t.Errorf("ReloadTime = %v, want 6", got)
+	}
+	if DefaultCosts().ReloadTime() != 10.5*sim.Second {
+		t.Errorf("default reload = %v, want 10.5s", DefaultCosts().ReloadTime())
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if len(Schemes()) != 3 {
+		t.Fatal("Schemes() wrong length")
+	}
+	for _, s := range Schemes() {
+		if s.String() == "unknown" {
+			t.Errorf("scheme %d has no name", s)
+		}
+	}
+	if Scheme(9).String() != "unknown" {
+		t.Error("unknown scheme formatting wrong")
+	}
+}

@@ -1,0 +1,259 @@
+// Package sched implements the prior works' serving-cluster control
+// plane: Gpulet-style partition sizing and placement. Given per-model
+// request rates, it sizes a spatial partition for each model from its
+// profiled latency curve (the "minimum GPU% satisfying the QoS target at
+// the offered rate" metric of Gpulet, in CUs), splits models across
+// multiple instances when one GPU cannot carry the rate, and packs the
+// resulting gpulets onto the fewest devices first-fit-decreasing.
+//
+// An epoch controller replans on a rate trace and accounts the
+// reconfiguration cost of applying each new plan with process-scoped
+// instances (shadow reloads) versus kernel-scoped partition instances
+// (free) — quantifying the paper's Fig. 2 argument at cluster scale.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"krisp/internal/models"
+	"krisp/internal/profile"
+	"krisp/internal/reconfig"
+	"krisp/internal/sim"
+)
+
+// Demand is one model's serving requirement.
+type Demand struct {
+	Model models.Model
+	Batch int
+	// RatePerSec is the request rate the deployment must sustain.
+	RatePerSec float64
+}
+
+// Gpulet is one scheduled instance: a model bound to a CU partition on a
+// device.
+type Gpulet struct {
+	Model string
+	Batch int
+	CUs   int
+	GPU   int
+	// ExpectedRPS is the instance's profiled throughput at this size.
+	ExpectedRPS float64
+}
+
+func (g Gpulet) String() string {
+	return fmt.Sprintf("%s[%d CUs @ gpu%d, %.0f rps]", g.Model, g.CUs, g.GPU, g.ExpectedRPS)
+}
+
+// Plan is a placement of gpulets onto devices.
+type Plan struct {
+	Gpulets []Gpulet
+	// GPUs is the number of devices used.
+	GPUs int
+	// Feasible is false when demands could not be placed within MaxGPUs.
+	Feasible bool
+}
+
+// TotalCUs returns the CUs allocated on device gpu.
+func (p Plan) TotalCUs(gpu int) int {
+	n := 0
+	for _, g := range p.Gpulets {
+		if g.GPU == gpu {
+			n += g.CUs
+		}
+	}
+	return n
+}
+
+// InstancesOf returns the number of instances serving a model.
+func (p Plan) InstancesOf(model string) int {
+	n := 0
+	for _, g := range p.Gpulets {
+		if g.Model == model {
+			n++
+		}
+	}
+	return n
+}
+
+// Planner sizes and places gpulets from profiled latency curves.
+type Planner struct {
+	prof     *profile.Profiler
+	totalCUs int
+	// SLOFactor is the tolerated latency multiple of the isolated
+	// full-GPU latency (the paper's SLO definition uses 2x).
+	SLOFactor float64
+	// sweeps caches per model/batch latency curves.
+	sweeps map[string][]profile.SweepPoint
+}
+
+// NewPlanner creates a planner over the given profiling configuration.
+func NewPlanner(cfg profile.Config) *Planner {
+	return &Planner{
+		prof:      profile.New(cfg),
+		totalCUs:  cfg.Spec.Topo.TotalCUs(),
+		SLOFactor: 2,
+		sweeps:    make(map[string][]profile.SweepPoint),
+	}
+}
+
+func (p *Planner) sweep(m models.Model, batch int) []profile.SweepPoint {
+	key := fmt.Sprintf("%s/%d", m.Name, batch)
+	if s, ok := p.sweeps[key]; ok {
+		return s
+	}
+	s := p.prof.CUSweep(m.Kernels(batch))
+	p.sweeps[key] = s
+	return s
+}
+
+// instanceRPS returns the profiled throughput of one instance at n CUs.
+func (p *Planner) instanceRPS(m models.Model, batch, n int) float64 {
+	s := p.sweep(m, batch)
+	lat := float64(s[n-1].Latency) // microseconds per batch
+	return float64(batch) / lat * 1e6
+}
+
+// SizeFor returns the smallest per-instance partition and instance count
+// that sustains rate within the SLO. The per-instance size never goes
+// below the size needed to keep latency within SLOFactor x isolated
+// (otherwise the instance violates QoS no matter the count).
+func (p *Planner) SizeFor(m models.Model, batch int, rate float64) (cus, instances int) {
+	s := p.sweep(m, batch)
+	fullLat := float64(s[p.totalCUs-1].Latency)
+	// Minimum CUs that keeps latency within the SLO.
+	minQoS := p.totalCUs
+	for n := 1; n <= p.totalCUs; n++ {
+		if float64(s[n-1].Latency) <= p.SLOFactor*fullLat {
+			minQoS = n
+			break
+		}
+	}
+	// Scale out until the per-instance rate share is achievable, then
+	// pick the smallest size that carries the share.
+	for instances = 1; ; instances++ {
+		share := rate / float64(instances)
+		if p.instanceRPS(m, batch, p.totalCUs) < share {
+			continue // even a whole GPU cannot carry the share
+		}
+		for n := minQoS; n <= p.totalCUs; n++ {
+			if p.instanceRPS(m, batch, n) >= share {
+				return n, instances
+			}
+		}
+	}
+}
+
+// Plan sizes every demand and packs the gpulets first-fit-decreasing onto
+// at most maxGPUs devices. An infeasible demand set returns a partial plan
+// with Feasible=false.
+func (p *Planner) Plan(demands []Demand, maxGPUs int) Plan {
+	var all []Gpulet
+	for _, d := range demands {
+		batch := d.Batch
+		if batch < 1 {
+			batch = models.CalibrationBatch
+		}
+		cus, instances := p.SizeFor(d.Model, batch, d.RatePerSec)
+		for i := 0; i < instances; i++ {
+			all = append(all, Gpulet{
+				Model:       d.Model.Name,
+				Batch:       batch,
+				CUs:         cus,
+				ExpectedRPS: p.instanceRPS(d.Model, batch, cus),
+			})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].CUs > all[j].CUs })
+
+	free := make([]int, 0, maxGPUs)
+	plan := Plan{Feasible: true}
+	for i := range all {
+		placed := false
+		for g := range free {
+			if free[g] >= all[i].CUs {
+				free[g] -= all[i].CUs
+				all[i].GPU = g
+				placed = true
+				break
+			}
+		}
+		if !placed && len(free) < maxGPUs {
+			free = append(free, p.totalCUs-all[i].CUs)
+			all[i].GPU = len(free) - 1
+			placed = true
+		}
+		if !placed {
+			plan.Feasible = false
+			all[i].GPU = -1
+		}
+	}
+	plan.Gpulets = all
+	plan.GPUs = len(free)
+	return plan
+}
+
+// EpochReport accounts applying a sequence of plans.
+type EpochReport struct {
+	Epochs int
+	// Resizes counts gpulet size/placement changes between epochs.
+	Resizes int
+	// ProcessScopedReload is the cumulative background reload time paid
+	// with shadow instances (one reload per resize).
+	ProcessScopedReload sim.Duration
+	// KernelScopedReload is the equivalent with kernel-scoped partition
+	// instances: zero — the next request simply uses the new size.
+	KernelScopedReload sim.Duration
+}
+
+// ReplanTrace runs the epoch controller over a rate trace: one rate per
+// epoch per demand (all trace slices must have equal length). It returns
+// the plans and the reconfiguration accounting.
+func (p *Planner) ReplanTrace(base []Demand, trace [][]float64, maxGPUs int, costs reconfig.Costs) ([]Plan, EpochReport) {
+	if len(trace) == 0 {
+		return nil, EpochReport{}
+	}
+	for _, rates := range trace {
+		if len(rates) != len(base) {
+			panic("sched: trace width does not match demands")
+		}
+	}
+	plans := make([]Plan, 0, len(trace))
+	report := EpochReport{Epochs: len(trace)}
+	var prev Plan
+	for e, rates := range trace {
+		ds := make([]Demand, len(base))
+		copy(ds, base)
+		for i := range ds {
+			ds[i].RatePerSec = rates[i]
+		}
+		plan := p.Plan(ds, maxGPUs)
+		if e > 0 {
+			report.Resizes += diffPlans(prev, plan)
+		}
+		plans = append(plans, plan)
+		prev = plan
+	}
+	report.ProcessScopedReload = sim.Duration(report.Resizes) * costs.ReloadTime()
+	return plans, report
+}
+
+// diffPlans counts instances whose (model, CUs, GPU) changed — each one is
+// a reconfiguration a process-scoped system must reload for.
+func diffPlans(a, b Plan) int {
+	count := func(p Plan) map[string]int {
+		m := make(map[string]int)
+		for _, g := range p.Gpulets {
+			m[fmt.Sprintf("%s/%d/%d", g.Model, g.CUs, g.GPU)]++
+		}
+		return m
+	}
+	am, bm := count(a), count(b)
+	changes := 0
+	for k, n := range bm {
+		if n > am[k] {
+			changes += n - am[k]
+		}
+	}
+	return changes
+}

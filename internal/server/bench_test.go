@@ -1,0 +1,57 @@
+package server
+
+import (
+	"testing"
+
+	"krisp/internal/gpu"
+	"krisp/internal/models"
+	"krisp/internal/policies"
+)
+
+// BenchmarkServeOneBatchKRISP measures the end-to-end simulation cost per
+// served batch (virtual serving of squeezenet under KRISP-I).
+func BenchmarkServeOneBatchKRISP(b *testing.B) {
+	m, ok := models.ByName("squeezenet")
+	if !ok {
+		b.Fatal("model missing")
+	}
+	db := BuildDB(gpuSpecDefault(), []WorkerSpec{{Model: m, Batch: 32}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(Config{
+			Policy:  policies.KRISPI,
+			Workers: []WorkerSpec{{Model: m, Batch: 32}},
+			DB:      db,
+			Seed:    int64(i),
+			Warmup:  8_000,
+			Measure: 80_000,
+		})
+	}
+}
+
+// BenchmarkFourWorkerContention measures the heavy case: four contending
+// workers with full per-kernel allocation.
+func BenchmarkFourWorkerContention(b *testing.B) {
+	m, ok := models.ByName("squeezenet")
+	if !ok {
+		b.Fatal("model missing")
+	}
+	specs := []WorkerSpec{
+		{Model: m, Batch: 32}, {Model: m, Batch: 32},
+		{Model: m, Batch: 32}, {Model: m, Batch: 32},
+	}
+	db := BuildDB(gpuSpecDefault(), specs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(Config{
+			Policy:  policies.KRISPI,
+			Workers: specs,
+			DB:      db,
+			Seed:    int64(i),
+			Warmup:  10_000,
+			Measure: 100_000,
+		})
+	}
+}
+
+func gpuSpecDefault() gpu.DeviceSpec { return gpu.MI50Spec() }

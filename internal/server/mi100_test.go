@@ -1,0 +1,52 @@
+package server
+
+import (
+	"testing"
+
+	"krisp/internal/gpu"
+	"krisp/internal/policies"
+)
+
+// TestMI100EndToEnd exercises the whole stack on a different device: 120
+// CUs over 8 SEs. Nothing in profiling, allocation, or serving should be
+// MI50-specific.
+func TestMI100EndToEnd(t *testing.T) {
+	m := mustModel(t, "squeezenet")
+	run := func(workers int, policy policies.Kind) Result {
+		specs := make([]WorkerSpec, workers)
+		for i := range specs {
+			specs[i] = WorkerSpec{Model: m, Batch: 32}
+		}
+		return Run(Config{
+			Spec:         gpu.MI100Spec(),
+			Policy:       policy,
+			Workers:      specs,
+			Seed:         9,
+			MeasureScale: 0.5,
+		})
+	}
+	iso := run(1, policies.MPSDefault)
+	if iso.RPS <= 0 {
+		t.Fatal("no throughput on MI100")
+	}
+	// Twice the CUs: 8 workers of a 22-CU model should still scale well
+	// under KRISP-I.
+	eight := run(8, policies.KRISPI)
+	if norm := eight.RPS / iso.RPS; norm < 3.5 {
+		t.Errorf("8-worker KRISP-I on MI100 scaled %.2fx, want >= 3.5x", norm)
+	}
+	for i := range eight.Workers {
+		if eight.Workers[i].Requests == 0 {
+			t.Errorf("worker %d starved on MI100", i)
+		}
+	}
+}
+
+func TestMI100Topology(t *testing.T) {
+	if gpu.MI100.TotalCUs() != 120 {
+		t.Fatalf("MI100 total = %d", gpu.MI100.TotalCUs())
+	}
+	if err := gpu.MI100.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

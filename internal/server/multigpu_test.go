@@ -1,0 +1,76 @@
+package server
+
+import (
+	"testing"
+
+	"krisp/internal/policies"
+)
+
+// TestMultiGPUScalesThroughput: eight workers on two GPUs should roughly
+// double the throughput of eight workers crammed onto one.
+func TestMultiGPUScalesThroughput(t *testing.T) {
+	m := mustModel(t, "squeezenet")
+	specs := make([]WorkerSpec, 8)
+	for i := range specs {
+		specs[i] = WorkerSpec{Model: m, Batch: 32}
+	}
+	one := Run(Config{Policy: policies.KRISPI, Workers: specs, Seed: 3, MeasureScale: 0.5})
+	two := Run(Config{Policy: policies.KRISPI, GPUs: 2, Workers: specs, Seed: 3, MeasureScale: 0.5})
+	if ratio := two.RPS / one.RPS; ratio < 1.25 {
+		t.Errorf("2-GPU RPS only %.2fx of 1-GPU", ratio)
+	}
+	// Each GPU carries 4 workers, so the run should behave like two
+	// independent 4-worker single-GPU deployments.
+	four := Run(Config{Policy: policies.KRISPI,
+		Workers: specs[:4], Seed: 3, MeasureScale: 0.5})
+	if ratio := two.RPS / (2 * four.RPS); ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("2-GPU RPS %.0f is %.2fx of two 4-worker GPUs (%.0f x2)",
+			two.RPS, ratio, four.RPS)
+	}
+	if two.MaxP95() > four.MaxP95()*1.3 {
+		t.Errorf("2-GPU p95 %.0f far above 4-worker single-GPU p95 %.0f",
+			two.MaxP95(), four.MaxP95())
+	}
+}
+
+// TestMultiGPUPartitionsPerDevice: Static Equal with 4 workers on 2 GPUs
+// gives each worker half a device, not a quarter.
+func TestMultiGPUPartitionsPerDevice(t *testing.T) {
+	m := mustModel(t, "squeezenet")
+	specs := make([]WorkerSpec, 4)
+	for i := range specs {
+		specs[i] = WorkerSpec{Model: m, Batch: 32}
+	}
+	two := Run(Config{Policy: policies.StaticEqual, GPUs: 2, Workers: specs, Seed: 3, MeasureScale: 0.5})
+	one := Run(Config{Policy: policies.StaticEqual, Workers: specs, Seed: 3, MeasureScale: 0.5})
+	// 30-CU partitions (2 per GPU) beat 15-CU partitions (4 on one GPU).
+	if two.RPS <= one.RPS {
+		t.Errorf("2-GPU static RPS %.0f not above 1-GPU %.0f", two.RPS, one.RPS)
+	}
+}
+
+// TestMultiGPUEnergyAccountsAllDevices: idle power is paid per device.
+func TestMultiGPUEnergyAccountsAllDevices(t *testing.T) {
+	m := mustModel(t, "squeezenet")
+	specs := []WorkerSpec{{Model: m, Batch: 32}, {Model: m, Batch: 32}}
+	one := Run(Config{Policy: policies.KRISPI, Workers: specs, Seed: 3, MeasureScale: 0.5})
+	two := Run(Config{Policy: policies.KRISPI, GPUs: 2, Workers: specs, Seed: 3, MeasureScale: 0.5})
+	if two.EnergyJ <= one.EnergyJ {
+		t.Errorf("2-GPU energy %.2fJ not above 1-GPU %.2fJ (second idle device unpaid?)",
+			two.EnergyJ, one.EnergyJ)
+	}
+}
+
+// TestMoreGPUsThanWorkers: spare devices idle without breaking anything.
+func TestMoreGPUsThanWorkers(t *testing.T) {
+	m := mustModel(t, "squeezenet")
+	res := Run(Config{
+		Policy:  policies.KRISPI,
+		GPUs:    4,
+		Workers: []WorkerSpec{{Model: m, Batch: 32}},
+		Seed:    3, MeasureScale: 0.5,
+	})
+	if res.TotalRequests() == 0 {
+		t.Fatal("no requests with spare GPUs")
+	}
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"testing"
+
+	"krisp/internal/policies"
+)
+
+func runOpen(t *testing.T, rate float64, workers int) OpenLoopResult {
+	t.Helper()
+	m := mustModel(t, "squeezenet")
+	specs := make([]WorkerSpec, workers)
+	for i := range specs {
+		specs[i] = WorkerSpec{Model: m, Batch: 32}
+	}
+	return RunOpenLoop(Config{
+		Policy:  policies.KRISPI,
+		Workers: specs,
+		Seed:    11,
+	}, Arrival{RatePerSec: rate})
+}
+
+func TestOpenLoopLightLoad(t *testing.T) {
+	// ~500 req/s against a server that sustains thousands: completions
+	// must track the offered rate and latency stays near one small-batch
+	// service time.
+	res := runOpen(t, 500, 2)
+	if res.Completed < res.Offered*0.85 || res.Completed > res.Offered*1.15 {
+		t.Errorf("completed %.0f req/s, offered %.0f", res.Completed, res.Offered)
+	}
+	if res.RequestLatency.Len() == 0 {
+		t.Fatal("no request latencies recorded")
+	}
+	// At 500 req/s, batches form far below the 32 maximum.
+	if res.MeanBatch > 16 {
+		t.Errorf("mean batch = %.1f at light load, want small", res.MeanBatch)
+	}
+}
+
+func TestOpenLoopSaturation(t *testing.T) {
+	light := runOpen(t, 500, 2)
+	heavy := runOpen(t, 50_000, 2) // far beyond capacity
+	if heavy.Completed >= heavy.Offered*0.9 {
+		t.Errorf("server absorbed %.0f of %.0f req/s — should saturate", heavy.Completed, heavy.Offered)
+	}
+	// Under saturation, batches fill to the maximum and latency explodes.
+	if heavy.MeanBatch < 30 {
+		t.Errorf("mean batch = %.1f under saturation, want ~32", heavy.MeanBatch)
+	}
+	if heavy.RequestLatency.P95() <= light.RequestLatency.P95() {
+		t.Error("saturated p95 not above light-load p95")
+	}
+}
+
+func TestOpenLoopLatencyMonotoneInLoad(t *testing.T) {
+	prev := 0.0
+	for _, rate := range []float64{500, 4000, 12000} {
+		res := runOpen(t, rate, 2)
+		p95 := res.RequestLatency.P95()
+		if p95 < prev*0.7 { // allow batching-efficiency wobble
+			t.Errorf("p95 dropped sharply from %.0f to %.0f at rate %.0f", prev, p95, rate)
+		}
+		prev = p95
+	}
+}
+
+func TestOpenLoopMoreWorkersLowerLatency(t *testing.T) {
+	one := runOpen(t, 6000, 1)
+	four := runOpen(t, 6000, 4)
+	if four.RequestLatency.P95() >= one.RequestLatency.P95() {
+		t.Errorf("4-worker p95 %.0f not below 1-worker %.0f at 6k req/s",
+			four.RequestLatency.P95(), one.RequestLatency.P95())
+	}
+}
+
+func TestOpenLoopUtilization(t *testing.T) {
+	res := runOpen(t, 1000, 2)
+	if u := res.Utilization(4300, 2); u < 0.1 || u > 0.2 {
+		t.Errorf("utilization = %v, want ~0.116", u)
+	}
+	if u := res.Utilization(0, 2); u != res.Utilization(4300, 0) {
+		// both degenerate cases return +Inf
+		t.Errorf("degenerate utilization mismatch")
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	m := mustModel(t, "squeezenet")
+	a := mustModel(t, "albert")
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero rate", func() {
+		RunOpenLoop(Config{Policy: policies.KRISPI,
+			Workers: []WorkerSpec{{Model: m, Batch: 32}}}, Arrival{})
+	})
+	mustPanic("mixed models", func() {
+		RunOpenLoop(Config{Policy: policies.KRISPI,
+			Workers: []WorkerSpec{{Model: m, Batch: 32}, {Model: a, Batch: 32}}},
+			Arrival{RatePerSec: 100})
+	})
+}

@@ -1,0 +1,406 @@
+// Package server models the paper's custom GPU inference server (§VI-A):
+// a frontend feeding per-worker request queues, and independent workers
+// that each own one GPU stream (HSA queue) and process batches back to
+// back — pre-processing, an inference pass of hundreds of kernel calls,
+// then post-processing.
+//
+// Matching the paper's methodology, the load generator is closed-loop and
+// drives the server at maximum load: every worker always has a batch ready.
+// Measurements are windowed: a warmup phase reaches steady state, then
+// throughput, tail latency, and energy are collected over a measurement
+// window of virtual time.
+package server
+
+import (
+	"fmt"
+	"math/rand"
+
+	"krisp/internal/core"
+	"krisp/internal/energy"
+	"krisp/internal/gpu"
+	"krisp/internal/hsa"
+	"krisp/internal/kernels"
+	"krisp/internal/metrics"
+	"krisp/internal/models"
+	"krisp/internal/policies"
+	"krisp/internal/profile"
+	"krisp/internal/sim"
+	"krisp/internal/trace"
+)
+
+// WorkerSpec describes one model worker.
+type WorkerSpec struct {
+	Model models.Model
+	Batch int
+}
+
+// Config describes one serving experiment.
+type Config struct {
+	// Spec is the simulated device; zero value means MI50.
+	Spec gpu.DeviceSpec
+	// HSA configures the runtime/command-processor cost model; zero value
+	// means hsa.DefaultConfig.
+	HSA hsa.Config
+	// Policy is the spatial partitioning policy under test.
+	Policy policies.Kind
+	// GPUs is the number of identical devices; workers spread over them
+	// round-robin and partitioning applies per device (a ScaleServe-style
+	// multi-GPU deployment). Zero means 1.
+	GPUs int
+	// Workers lists the co-located model workers (all drive max load).
+	Workers []WorkerSpec
+	// DB is the profiled performance database; built on the fly if nil.
+	DB *profile.DB
+	// Power is the energy model; zero value means energy.MI50Power.
+	Power energy.Model
+	// Seed drives the per-worker latency jitter.
+	Seed int64
+	// Warmup and Measure bound the experiment in virtual time; zero means
+	// auto-size from the slowest worker's isolated latency.
+	Warmup, Measure sim.Duration
+	// MeasureScale scales the auto-sized measurement window (default 1.0;
+	// smoke runs use a fraction). Ignored when Measure is set explicitly.
+	MeasureScale float64
+	// PreprocessUs/PostprocessUs are the CPU-side batch costs.
+	// Zero means the defaults (150us / 80us).
+	PreprocessUs, PostprocessUs sim.Duration
+	// Jitter is the relative amplitude of per-kernel duration noise
+	// (default 0.04). Set negative to disable.
+	Jitter float64
+	// ForceEmulation runs KRISP policies through the emulated
+	// stream-masking path (Fig. 11) instead of native hardware support —
+	// used to reproduce the paper's §V-B overhead accounting.
+	ForceEmulation bool
+	// OverlapLimit overrides the KRISP policies' per-kernel overlap limit
+	// (the Fig. 16 sensitivity knob); nil keeps the policy default.
+	OverlapLimit *int
+	// Trace, if non-nil, records worker 0's kernel launches.
+	Trace *trace.Trace
+
+	// openLoop, when set by RunOpenLoop, replaces the closed-loop client
+	// with Poisson arrivals and dynamic batching.
+	openLoop *openLoop
+}
+
+// WorkerStats reports one worker's measurement-window results.
+type WorkerStats struct {
+	Model string
+	Batch int
+	// Batches and Requests completed inside the measurement window.
+	Batches, Requests int
+	// BatchLatency samples the end-to-end batch latencies (microseconds)
+	// of batches completing inside the window.
+	BatchLatency metrics.Sample
+}
+
+// P95 returns the worker's 95th-percentile batch latency in microseconds.
+func (w *WorkerStats) P95() float64 { return w.BatchLatency.P95() }
+
+// Result is the outcome of one serving experiment.
+type Result struct {
+	Policy  policies.Kind
+	Workers []WorkerStats
+	// WindowUs is the measurement window length.
+	WindowUs sim.Duration
+	// RPS is aggregate requests per second over the window.
+	RPS float64
+	// EnergyJ is the energy consumed during the window.
+	EnergyJ float64
+	// EnergyPerInference is joules per completed request.
+	EnergyPerInference float64
+	// AvgBusyCUs is the time-weighted mean number of busy CUs.
+	AvgBusyCUs float64
+	// Oversubscribed marks model-wise configurations whose partitions
+	// overlap (the paper's open-circle cases).
+	Oversubscribed bool
+}
+
+// TotalRequests sums completed requests across workers.
+func (r *Result) TotalRequests() int {
+	n := 0
+	for i := range r.Workers {
+		n += r.Workers[i].Requests
+	}
+	return n
+}
+
+// MaxP95 returns the worst per-worker p95 batch latency (us).
+func (r *Result) MaxP95() float64 {
+	worst := 0.0
+	for i := range r.Workers {
+		if p := r.Workers[i].P95(); p > worst {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// BuildDB profiles every kernel of every worker's model at its batch size —
+// the install-time profiling step — and returns the performance database.
+func BuildDB(spec gpu.DeviceSpec, workers []WorkerSpec) *profile.DB {
+	p := profile.New(profile.Config{Spec: spec, Tolerance: 0.05, LaunchOverhead: 6})
+	db := profile.NewDB()
+	for _, w := range workers {
+		db.Profile(p, w.Model.Kernels(w.Batch))
+	}
+	return db
+}
+
+// Run executes one serving experiment and returns windowed measurements.
+func Run(cfg Config) Result {
+	if len(cfg.Workers) == 0 {
+		panic("server: no workers")
+	}
+	if cfg.Spec.Topo.TotalCUs() == 0 {
+		cfg.Spec = gpu.MI50Spec()
+	}
+	if cfg.HSA.PacketProcessTime == 0 {
+		cfg.HSA = hsa.DefaultConfig()
+	}
+	if cfg.Power.IdleW == 0 && cfg.Power.PerCUW == 0 {
+		cfg.Power = energy.MI50Power()
+	}
+	if cfg.PreprocessUs == 0 {
+		cfg.PreprocessUs = 150
+	}
+	if cfg.PostprocessUs == 0 {
+		cfg.PostprocessUs = 80
+	}
+	switch {
+	case cfg.Jitter == 0:
+		cfg.Jitter = 0.04
+	case cfg.Jitter < 0:
+		cfg.Jitter = 0
+	}
+
+	prof := profile.New(profile.Config{Spec: cfg.Spec, Tolerance: 0.05, LaunchOverhead: cfg.HSA.PacketProcessTime})
+
+	// Auto-size the window from the slowest worker's isolated latency.
+	if cfg.Warmup == 0 || cfg.Measure == 0 {
+		var slowest sim.Duration
+		for _, w := range cfg.Workers {
+			if l := prof.ModelLatency(w.Model.Kernels(w.Batch), cfg.Spec.Topo.TotalCUs()); l > slowest {
+				slowest = l
+			}
+		}
+		slowest += cfg.PreprocessUs + cfg.PostprocessUs
+		if cfg.Warmup == 0 {
+			cfg.Warmup = 5 * slowest
+		}
+		if cfg.Measure == 0 {
+			// Enough for ~60 samples per worker at ~3x contention slowdown.
+			scale := cfg.MeasureScale
+			if scale <= 0 {
+				scale = 1
+			}
+			cfg.Measure = 180 * slowest * scale
+		}
+	}
+
+	// Per-worker model right-sizes feed the model-granular policies.
+	rightSizes := make([]int, len(cfg.Workers))
+	if cfg.Policy == policies.ModelRightSize || cfg.Policy == policies.MRSRequest {
+		cache := map[string]int{}
+		for i, w := range cfg.Workers {
+			key := fmt.Sprintf("%s/%d", w.Model.Name, w.Batch)
+			rs, ok := cache[key]
+			if !ok {
+				rs = prof.ModelRightSize(w.Model.Kernels(w.Batch))
+				cache[key] = rs
+			}
+			rightSizes[i] = rs
+		}
+	}
+
+	db := cfg.DB
+	if db == nil && cfg.Policy.KernelScoped() {
+		db = BuildDB(cfg.Spec, cfg.Workers)
+	}
+
+	numGPUs := cfg.GPUs
+	if numGPUs < 1 {
+		numGPUs = 1
+	}
+
+	// Workers spread over devices round-robin; partitioning policies are
+	// applied independently per device (a spatial partition never spans
+	// GPUs).
+	perGPU := make([][]int, numGPUs) // worker indices per device
+	for i := range cfg.Workers {
+		g := i % numGPUs
+		perGPU[g] = append(perGPU[g], i)
+	}
+	assignments := make([]policies.Assignment, len(cfg.Workers))
+	anyOversub := false
+	for _, idxs := range perGPU {
+		if len(idxs) == 0 {
+			continue
+		}
+		rs := make([]int, len(idxs))
+		for j, wi := range idxs {
+			rs[j] = rightSizes[wi]
+		}
+		as := policies.Assign(cfg.Policy, cfg.Spec.Topo, rs)
+		for j, wi := range idxs {
+			assignments[wi] = as[j]
+		}
+		if policies.Oversubscribed(as) {
+			anyOversub = true
+		}
+	}
+	if cfg.OverlapLimit != nil {
+		for i := range assignments {
+			if assignments[i].Mode == core.ModeNative {
+				assignments[i].OverlapLimit = *cfg.OverlapLimit
+			}
+		}
+	}
+
+	eng := sim.New()
+	type gpuStack struct {
+		meter *energy.Meter
+		dev   *gpu.Device
+		cp    *hsa.CommandProcessor
+	}
+	hsaCfg := cfg.HSA
+	hsaCfg.KernelScoped = cfg.Policy.KernelScoped() && !cfg.ForceEmulation
+	gpus := make([]gpuStack, numGPUs)
+	for g := range gpus {
+		meter := energy.NewMeter(cfg.Power)
+		dev := gpu.NewDevice(eng, cfg.Spec, meter)
+		gpus[g] = gpuStack{meter: meter, dev: dev, cp: hsa.NewCommandProcessor(eng, dev, hsaCfg)}
+	}
+	rs := core.NewRightSizer(db, cfg.Spec.Topo.TotalCUs())
+
+	measureStart := cfg.Warmup
+	measureEnd := cfg.Warmup + cfg.Measure
+
+	workers := make([]*worker, len(cfg.Workers))
+	for i, spec := range cfg.Workers {
+		a := assignments[i]
+		stack := gpus[i%numGPUs]
+		mode := a.Mode
+		if cfg.ForceEmulation && mode == core.ModeNative {
+			mode = core.ModeEmulated
+		}
+		q := stack.cp.NewQueue()
+		if !a.QueueMask.IsEmpty() && !a.QueueMask.Equal(gpu.FullMask(cfg.Spec.Topo)) {
+			q.SetCUMask(a.QueueMask, nil)
+		}
+		rtCfg := core.Config{Mode: mode, OverlapLimit: a.OverlapLimit}
+		if i == 0 {
+			rtCfg.Trace = cfg.Trace
+		}
+		workerRS := rs
+		if a.FixedPartition > 0 {
+			workerRS = core.NewFixedRightSizer(a.FixedPartition, cfg.Spec.Topo.TotalCUs())
+		}
+		workers[i] = &worker{
+			spec:         spec,
+			rt:           core.NewRuntime(eng, stack.cp, q, workerRS, rtCfg),
+			rng:          rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1)),
+			eng:          eng,
+			pre:          cfg.PreprocessUs,
+			post:         cfg.PostprocessUs,
+			jitter:       cfg.Jitter,
+			measureStart: measureStart,
+			measureEnd:   measureEnd,
+		}
+		workers[i].stats.Model = spec.Model.Name
+		workers[i].stats.Batch = spec.Batch
+		workers[i].openLoop = cfg.openLoop
+	}
+
+	if ol := cfg.openLoop; ol != nil {
+		ol.measureStart = measureStart
+		ol.measureEnd = measureEnd
+		ol.start(eng, cfg.Seed)
+		for _, w := range workers {
+			ol.park(w)
+		}
+	} else {
+		for _, w := range workers {
+			w.start()
+		}
+	}
+
+	// Warm up, then open the measurement window.
+	eng.RunUntil(measureStart)
+	for _, g := range gpus {
+		g.meter.Reset(eng.Now())
+		g.dev.ResetUtilization()
+	}
+	eng.RunUntil(measureEnd)
+
+	var energyJ, busySum float64
+	for _, g := range gpus {
+		energyJ += g.meter.EnergyJ(measureEnd)
+		busySum += g.dev.AvgBusyCUs()
+	}
+	result := Result{
+		Policy:         cfg.Policy,
+		WindowUs:       cfg.Measure,
+		EnergyJ:        energyJ,
+		AvgBusyCUs:     busySum / float64(numGPUs),
+		Oversubscribed: cfg.Policy == policies.ModelRightSize && anyOversub,
+	}
+	for _, w := range workers {
+		result.Workers = append(result.Workers, w.stats)
+	}
+	result.RPS = metrics.Throughput(result.TotalRequests(), float64(cfg.Measure))
+	result.EnergyPerInference = energy.PerInference(result.EnergyJ, result.TotalRequests())
+	return result
+}
+
+// worker is one closed-loop model worker: it owns a stream and keeps a
+// batch in flight at all times.
+type worker struct {
+	spec   WorkerSpec
+	rt     *core.Runtime
+	rng    *rand.Rand
+	eng    *sim.Engine
+	pre    sim.Duration
+	post   sim.Duration
+	jitter float64
+
+	measureStart, measureEnd sim.Time
+	stats                    WorkerStats
+	openLoop                 *openLoop
+}
+
+func (w *worker) start() { w.runBatch() }
+
+func (w *worker) runBatch() {
+	batchStart := w.eng.Now()
+	w.eng.After(w.pre, func() {
+		descs := w.jitteredKernels()
+		w.rt.RunSequence(descs, func() {
+			w.eng.After(w.post, func() {
+				end := w.eng.Now()
+				if end > w.measureStart && end <= w.measureEnd {
+					w.stats.Batches++
+					w.stats.Requests += w.spec.Batch
+					w.stats.BatchLatency.Add(end - batchStart)
+				}
+				w.runBatch()
+			})
+		})
+	})
+}
+
+// jitteredKernels clones the model's kernel sequence with small
+// per-instance duration noise, modelling run-to-run variance so tail
+// latencies are meaningful.
+func (w *worker) jitteredKernels() []kernels.Desc {
+	descs := w.spec.Model.Kernels(w.spec.Batch)
+	if w.jitter == 0 {
+		return descs
+	}
+	out := make([]kernels.Desc, len(descs))
+	for i, d := range descs {
+		f := 1 + w.jitter*(2*w.rng.Float64()-1)
+		d.Work.WGTime *= sim.Duration(f)
+		out[i] = d
+	}
+	return out
+}

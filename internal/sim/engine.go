@@ -1,0 +1,202 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives all of KRISP's virtual-time evaluation: GPU kernel
+// execution, HSA queue processing, inference servers, and load generators
+// all schedule callbacks on a single Engine. Everything runs on one
+// goroutine, so simulations are fully deterministic given a seed.
+//
+// Time is modelled as float64 microseconds of virtual time. Helpers
+// (Microsecond, Millisecond, Second) make call sites readable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in microseconds.
+type Time = float64
+
+// Duration is a span of virtual time, in microseconds.
+type Duration = float64
+
+// Convenient duration units (all in microseconds).
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1e3
+	Second      Duration = 1e6
+)
+
+// Never is a sentinel time further in the future than any event the
+// simulator will reach. Completion events for stalled jobs are parked here.
+const Never Time = math.MaxFloat64 / 4
+
+// Event is a scheduled callback. It is returned by Engine.At/After so the
+// caller can cancel it before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once removed
+	canceled bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+// Canceled reports whether the event was canceled before firing.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	processed uint64
+}
+
+// New returns an Engine with the clock at time zero and no pending events.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Processed returns the total number of events fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a logic error in the caller.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d microseconds from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event so it never fires. Canceling an event that
+// already fired or was already canceled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.events, ev.index)
+	ev.index = -1
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving its
+// callback. If the event already fired or was canceled, Reschedule schedules
+// a fresh event with the same callback and returns it; otherwise it returns
+// ev itself.
+func (e *Engine) Reschedule(ev *Event, t Time) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, e.now))
+	}
+	if ev.canceled || ev.index < 0 {
+		return e.At(t, ev.fn)
+	}
+	ev.at = t
+	e.seq++
+	ev.seq = e.seq
+	heap.Fix(&e.events, ev.index)
+	return ev
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 {
+		// Peek at the earliest non-canceled event.
+		ev := e.events[0]
+		if ev.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor runs the simulation for d microseconds of virtual time from now.
+func (e *Engine) RunFor(d Duration) {
+	e.RunUntil(e.now + d)
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, d := range []Duration{50, 10, 30, 20, 40} {
+		d := d
+		e.After(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineFIFOAmongSimultaneous(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.After(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	// Double-cancel is a no-op.
+	e.Cancel(ev)
+	// Cancel nil is a no-op.
+	e.Cancel(nil)
+}
+
+func TestEngineCancelDuringRun(t *testing.T) {
+	e := New()
+	fired := false
+	var ev *Event
+	ev = e.After(20, func() { fired = true })
+	e.After(10, func() { e.Cancel(ev) })
+	e.Run()
+	if fired {
+		t.Error("event canceled at t=10 still fired at t=20")
+	}
+}
+
+func TestEngineReschedule(t *testing.T) {
+	e := New()
+	var at Time
+	ev := e.After(10, func() { at = e.Now() })
+	e.Reschedule(ev, 25)
+	e.Run()
+	if at != 25 {
+		t.Errorf("rescheduled event fired at %v, want 25", at)
+	}
+}
+
+func TestEngineRescheduleFiredEvent(t *testing.T) {
+	e := New()
+	count := 0
+	ev := e.After(5, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d after first run", count)
+	}
+	// Rescheduling a fired event creates a fresh one with the same fn.
+	ev2 := e.Reschedule(ev, e.Now()+5)
+	if ev2 == ev {
+		t.Error("Reschedule of fired event returned the same event")
+	}
+	e.Run()
+	if count != 2 {
+		t.Errorf("count = %d after rescheduled run, want 2", count)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.After(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, d := range []Duration{10, 20, 30} {
+		e.After(d, func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(20) fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now() = %v after RunUntil(20)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Errorf("total fired = %d, want 3", len(fired))
+	}
+}
+
+func TestEngineRunForAdvancesClock(t *testing.T) {
+	e := New()
+	e.RunFor(100)
+	if e.Now() != 100 {
+		t.Errorf("Now() = %v after empty RunFor(100)", e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, recurse)
+		}
+	}
+	e.After(1, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now() = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineProcessedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.After(Duration(i+1), func() {})
+	}
+	e.Run()
+	if e.Processed() != 7 {
+		t.Errorf("Processed() = %d, want 7", e.Processed())
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of the
+// insertion order, including interleaved cancellations.
+func TestEngineOrderingProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var fired []Time
+		var evs []*Event
+		count := int(n%50) + 1
+		for i := 0; i < count; i++ {
+			d := Duration(rng.Intn(1000))
+			evs = append(evs, e.After(d, func() { fired = append(fired, e.Now()) }))
+		}
+		// Cancel a random subset.
+		canceled := 0
+		for _, ev := range evs {
+			if rng.Intn(4) == 0 {
+				e.Cancel(ev)
+				canceled++
+			}
+		}
+		e.Run()
+		if len(fired) != count-canceled {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.After(Duration(j%97), func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,69 @@
+// Package trace records per-kernel execution events — the data behind the
+// paper's kernel-trace figures (Fig. 4) — and exports them as CSV.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"krisp/internal/sim"
+)
+
+// Record is one kernel execution observed by the runtime.
+type Record struct {
+	// Seq is the kernel's position in the inference pass.
+	Seq int
+	// Kernel is the kernel family/symbol name.
+	Kernel string
+	// Workgroups is the dispatch grid size.
+	Workgroups int
+	// MinCU is the profiled minimum required CUs (0 when not right-sized).
+	MinCU int
+	// AllocatedCUs is the number of CUs in the granted resource mask.
+	AllocatedCUs int
+	// Start and End bound the kernel's execution in virtual time.
+	Start, End sim.Time
+}
+
+// Duration returns the kernel's execution time.
+func (r Record) Duration() sim.Duration { return r.End - r.Start }
+
+// Trace is an append-only sequence of kernel records.
+type Trace struct {
+	records []Record
+}
+
+// Add appends a record.
+func (t *Trace) Add(r Record) { t.records = append(t.records, r) }
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.records) }
+
+// Records returns the recorded events (shared slice; do not mutate).
+func (t *Trace) Records() []Record { return t.records }
+
+// WriteCSV emits the trace with a header row.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "kernel", "workgroups", "min_cu", "allocated_cus", "start_us", "end_us"}); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for _, r := range t.records {
+		row := []string{
+			strconv.Itoa(r.Seq),
+			r.Kernel,
+			strconv.Itoa(r.Workgroups),
+			strconv.Itoa(r.MinCU),
+			strconv.Itoa(r.AllocatedCUs),
+			strconv.FormatFloat(float64(r.Start), 'f', 3, 64),
+			strconv.FormatFloat(float64(r.End), 'f', 3, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", r.Seq, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

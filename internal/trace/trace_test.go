@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestTraceAddAndRecords(t *testing.T) {
+	var tr Trace
+	tr.Add(Record{Seq: 0, Kernel: "a", Workgroups: 10, MinCU: 12, AllocatedCUs: 12, Start: 0, End: 5})
+	tr.Add(Record{Seq: 1, Kernel: "b", Workgroups: 20, MinCU: 60, AllocatedCUs: 48, Start: 5, End: 9})
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if got := tr.Records()[1].Duration(); got != 4 {
+		t.Errorf("Duration = %v, want 4", got)
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	var tr Trace
+	tr.Add(Record{Seq: 0, Kernel: "gemm", Workgroups: 120, MinCU: 12, AllocatedCUs: 12, Start: 1.5, End: 7.25})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parsing CSV: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2 (header + record)", len(rows))
+	}
+	if rows[0][0] != "seq" || rows[0][3] != "min_cu" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][1] != "gemm" || rows[1][2] != "120" {
+		t.Errorf("record = %v", rows[1])
+	}
+	if !strings.HasPrefix(rows[1][5], "1.5") {
+		t.Errorf("start = %q", rows[1][5])
+	}
+}
+
+func TestEmptyTraceCSV(t *testing.T) {
+	var tr Trace
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV on empty trace: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 1 {
+		t.Errorf("empty trace CSV has %d lines, want 1 (header only)", lines)
+	}
+}
