@@ -1,0 +1,84 @@
+// Chaos: inject hardware faults into a two-worker KRISP colocation and
+// watch the hardened serving path absorb them. One CU dies mid-run, the
+// CU-mask IOCTL becomes flaky, and a small fraction of kernels straggle or
+// transiently fail; the run is compared against the identical fault-free
+// experiment and the injector's counters are printed.
+//
+// Run with:
+//
+//	go run ./examples/chaos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"krisp/internal/faults"
+	"krisp/internal/models"
+	"krisp/internal/policies"
+	"krisp/internal/server"
+)
+
+func main() {
+	albert, ok := models.ByName("albert")
+	if !ok {
+		log.Fatal("albert not found")
+	}
+	squeezenet, ok := models.ByName("squeezenet")
+	if !ok {
+		log.Fatal("squeezenet not found")
+	}
+
+	base := server.Config{
+		Policy: policies.KRISPI,
+		Workers: []server.WorkerSpec{
+			{Model: albert, Batch: 32},
+			{Model: squeezenet, Batch: 32},
+		},
+		Seed:           1,
+		ForceEmulation: true, // exercise the IOCTL-per-kernel path
+	}
+
+	clean := server.Run(base)
+
+	chaotic := base
+	chaotic.Faults = &faults.Plan{
+		Seed: 7,
+		// One CU of SE0 dies a third of the way into the run.
+		CUKills: []faults.CUKill{{At: 500_000, GPU: 0, CU: 0}},
+		// The reconfiguration IOCTL fails 20% of the time and takes an extra
+		// 300us another 10% of the time.
+		IOCTL: faults.IOCTLFaults{FailProb: 0.20, SlowProb: 0.10, SlowExtra: 300},
+		// A sprinkle of stragglers and transient kernel failures.
+		Kernels: faults.KernelFaults{
+			StragglerProb:     0.002,
+			StragglerStretch:  4,
+			TransientFailProb: 0.002,
+		},
+	}
+	res := server.Run(chaotic)
+
+	fmt.Printf("%-22s %12s %12s\n", "", "fault-free", "chaos")
+	fmt.Printf("%-22s %12.0f %12.0f\n", "aggregate req/s", clean.RPS, res.RPS)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "worst p95 (ms)", clean.MaxP95()/1000, res.MaxP95()/1000)
+	fmt.Printf("%-22s %12.3f %12.3f\n", "J per inference", clean.EnergyPerInference, res.EnergyPerInference)
+
+	s := res.Faults
+	fmt.Println("\ninjected faults:")
+	fmt.Printf("  CU kills            %6d\n", s.CUKills)
+	fmt.Printf("  IOCTL failures      %6d\n", s.IOCTLFailures)
+	fmt.Printf("  IOCTL delays        %6d\n", s.IOCTLDelays)
+	fmt.Printf("  kernel stragglers   %6d\n", s.KernelStragglers)
+	fmt.Printf("  transient failures  %6d\n", s.KernelTransientFailures)
+	fmt.Println("hardened-path reactions:")
+	fmt.Printf("  kernel retries      %6d\n", s.KernelRetries)
+	fmt.Printf("  kernels abandoned   %6d\n", s.KernelsAbandoned)
+	fmt.Printf("  health re-masks     %6d\n", s.HealthRemasks)
+	fmt.Printf("  mask fallbacks      %6d\n", s.MaskFallbacks)
+	fmt.Printf("  stream fallbacks    %6d\n", s.StreamFallbacks)
+	fmt.Printf("  full-GPU fallbacks  %6d\n", s.FullGPUFallbacks)
+	fmt.Printf("  ladder tightenings  %6d\n", s.LadderTightenings)
+	fmt.Printf("  watchdog trips      %6d\n", s.WatchdogTrips)
+	fmt.Printf("  SLO widenings       %6d\n", s.SLOWidenings)
+	fmt.Printf("  degraded time (ms)  %6.0f\n", s.DegradedTime/1000)
+}

@@ -25,6 +25,7 @@ package core
 
 import (
 	"krisp/internal/alloc"
+	"krisp/internal/faults"
 	"krisp/internal/gpu"
 	"krisp/internal/hsa"
 	"krisp/internal/kernels"
@@ -98,6 +99,33 @@ func (r *RightSizer) Size(d kernels.Desc) int {
 	return r.db.MinCU(d, r.totalCUs)
 }
 
+// Ladder levels of the graceful-degradation ladder. A hardened runtime
+// normally runs kernel-scoped (level 0); when kernel-scoped mask sets keep
+// failing or the SLO guard sees the tail blow out, it steps down to the
+// stream-scoped mask (level 1) and finally to the full healthy GPU
+// (level 2), then re-tightens one rung at a time after a cool-down.
+const (
+	LadderKernelScoped = iota
+	LadderStreamScoped
+	LadderFullGPU
+)
+
+// Hardening parameterizes the fault-tolerant serving path of a Runtime:
+// bounded retry of transiently-failed kernels and the graceful-degradation
+// ladder. A nil Hardening on Config disables all of it at zero cost.
+type Hardening struct {
+	// MaxRetries bounds relaunch attempts for a transiently-failed kernel;
+	// past it the kernel is abandoned and the sequence continues.
+	MaxRetries int
+	// RetryBackoff is the first retry delay; it doubles per attempt.
+	RetryBackoff sim.Duration
+	// IOCTLFailureStreak is the consecutive SetCUMask failure count that
+	// drops an emulated runtime from kernel-scoped to stream-scoped.
+	IOCTLFailureStreak int
+	// Stats receives fault-reaction counters; shared across runtimes.
+	Stats *faults.Stats
+}
+
 // Config parameterizes a Runtime.
 type Config struct {
 	Mode Mode
@@ -108,6 +136,9 @@ type Config struct {
 	Policy alloc.Policy
 	// Trace, when non-nil, records every kernel launch.
 	Trace *trace.Trace
+	// Hardening, when non-nil, enables the robust serving path (retry +
+	// degradation ladder) for chaos runs.
+	Hardening *Hardening
 }
 
 // Runtime intercepts kernel calls for one inference stream and applies
@@ -121,6 +152,11 @@ type Runtime struct {
 	cp    *hsa.CommandProcessor
 	dev   *gpu.Device
 	seq   int
+
+	// Degradation-ladder state (only mutated when cfg.Hardening != nil).
+	level           int
+	ioctlFailStreak int
+	degradedSince   sim.Time
 }
 
 // NewRuntime builds the right-sizing runtime over an HSA queue. rs may be
@@ -145,6 +181,72 @@ func (rt *Runtime) Queue() *hsa.Queue { return rt.queue }
 // Mode returns the enforcement mode.
 func (rt *Runtime) Mode() Mode { return rt.cfg.Mode }
 
+// Level returns the runtime's current degradation-ladder level.
+func (rt *Runtime) Level() int { return rt.level }
+
+// Widen steps the degradation ladder one rung down (wider masks): kernel-
+// scoped → stream-scoped → full healthy GPU. Entering the full-GPU rung
+// re-masks the stream to every healthy CU. Passthrough runtimes have no
+// kernel-scoped masking to give up, so Widen is a no-op for them. It
+// reports whether the level changed.
+func (rt *Runtime) Widen() bool {
+	h := rt.cfg.Hardening
+	if h == nil || rt.cfg.Mode == ModePassthrough || rt.level >= LadderFullGPU {
+		return false
+	}
+	if rt.level == LadderKernelScoped {
+		rt.degradedSince = rt.eng.Now()
+	}
+	rt.level++
+	switch rt.level {
+	case LadderStreamScoped:
+		h.Stats.StreamFallbacks++
+	case LadderFullGPU:
+		h.Stats.FullGPUFallbacks++
+		rt.queue.SetCUMask(rt.dev.HealthMask(), nil)
+	}
+	return true
+}
+
+// Tighten steps the ladder one rung back toward kernel-scoped masking,
+// typically after the SLO guard's cool-down. It reports whether the level
+// changed.
+func (rt *Runtime) Tighten() bool {
+	h := rt.cfg.Hardening
+	if h == nil || rt.level == LadderKernelScoped {
+		return false
+	}
+	rt.level--
+	h.Stats.LadderTightenings++
+	if rt.level == LadderKernelScoped {
+		h.Stats.DegradedTime += rt.eng.Now() - rt.degradedSince
+	}
+	return true
+}
+
+// FlushDegradedTime closes the open degraded interval (if any) into the
+// stats at the current time — called once when a run's measurement ends.
+func (rt *Runtime) FlushDegradedTime() {
+	h := rt.cfg.Hardening
+	if h == nil || rt.level == LadderKernelScoped {
+		return
+	}
+	h.Stats.DegradedTime += rt.eng.Now() - rt.degradedSince
+	rt.degradedSince = rt.eng.Now()
+}
+
+// noteIOCTLFailure records one failed kernel-scoped mask set; a streak of
+// them drops the runtime to stream-scoped masking.
+func (rt *Runtime) noteIOCTLFailure() {
+	h := rt.cfg.Hardening
+	h.Stats.MaskFallbacks++
+	rt.ioctlFailStreak++
+	if rt.ioctlFailStreak >= h.IOCTLFailureStreak && rt.level == LadderKernelScoped {
+		rt.ioctlFailStreak = 0
+		rt.Widen()
+	}
+}
+
 // LaunchKernel submits one kernel call. onDone fires when the kernel
 // completes on the device.
 func (rt *Runtime) LaunchKernel(d kernels.Desc, onDone func()) {
@@ -154,8 +256,18 @@ func (rt *Runtime) LaunchKernel(d kernels.Desc, onDone func()) {
 	case ModePassthrough:
 		rt.submit(seq, d, 0, onDone)
 	case ModeNative:
-		rt.submit(seq, d, rt.rs.Size(d), onDone)
+		partition := rt.rs.Size(d)
+		if rt.level > LadderKernelScoped {
+			// Degraded: suspend per-kernel masking; the kernel inherits
+			// the stream mask (full GPU at the bottom rung).
+			partition = 0
+		}
+		rt.submit(seq, d, partition, onDone)
 	case ModeEmulated:
+		if rt.level > LadderKernelScoped {
+			rt.submit(seq, d, 0, onDone)
+			return
+		}
 		rt.launchEmulated(seq, d, onDone)
 	default:
 		panic("core: unknown mode")
@@ -165,7 +277,38 @@ func (rt *Runtime) LaunchKernel(d kernels.Desc, onDone func()) {
 // submit dispatches a kernel (kernel-scoped iff partition > 0) and wires
 // tracing around it.
 func (rt *Runtime) submit(seq int, d kernels.Desc, partition int, onDone func()) {
+	rt.submitAttempt(seq, d, partition, 0, onDone)
+}
+
+// onFaultFor builds the transient-failure handler for one dispatch
+// attempt: bounded retry with exponential backoff, then abandonment (the
+// sequence continues without the kernel — bounded degradation beats a
+// wedged stream). Returns nil when hardening is disabled, so fault-free
+// runs carry no handler and injected failures are swallowed in hsa.
+func (rt *Runtime) onFaultFor(seq int, d kernels.Desc, partition, attempt int, onDone func()) func() {
+	h := rt.cfg.Hardening
+	if h == nil {
+		return nil
+	}
+	return func() {
+		if attempt >= h.MaxRetries {
+			h.Stats.KernelsAbandoned++
+			if onDone != nil {
+				onDone()
+			}
+			return
+		}
+		h.Stats.KernelRetries++
+		backoff := h.RetryBackoff * sim.Duration(int64(1)<<uint(attempt))
+		rt.eng.After(backoff, func() {
+			rt.submitAttempt(seq, d, partition, attempt+1, onDone)
+		})
+	}
+}
+
+func (rt *Runtime) submitAttempt(seq int, d kernels.Desc, partition, attempt int, onDone func()) {
 	sig := hsa.NewSignal(1)
+	onFault := rt.onFaultFor(seq, d, partition, attempt, onDone)
 	if rt.cfg.Trace != nil {
 		var start sim.Time
 		var granted gpu.CUMask
@@ -191,6 +334,7 @@ func (rt *Runtime) submit(seq int, d kernels.Desc, partition int, onDone func())
 			PartitionCUs: partition,
 			OverlapLimit: rt.cfg.OverlapLimit,
 			Completion:   sig,
+			OnFault:      onFault,
 			OnDispatch: func(mask gpu.CUMask) {
 				start = rt.eng.Now()
 				granted = mask
@@ -207,6 +351,7 @@ func (rt *Runtime) submit(seq int, d kernels.Desc, partition int, onDone func())
 		PartitionCUs: partition,
 		OverlapLimit: rt.cfg.OverlapLimit,
 		Completion:   sig,
+		OnFault:      onFault,
 	})
 }
 
@@ -225,7 +370,22 @@ func (rt *Runtime) launchEmulated(seq int, d kernels.Desc, onDone func()) {
 			Policy:       rt.cfg.Policy,
 			MinGrant:     rt.cp.FairShare(),
 		})
-		rt.queue.SetCUMask(mask, func() { maskApplied.Complete() })
+		if rt.cfg.Hardening == nil {
+			rt.queue.SetCUMask(mask, func() { maskApplied.Complete() })
+			return
+		}
+		// Hardened path: a failed kernel-scoped mask set falls back to the
+		// stream-scoped mask already installed (the kernel runs wider than
+		// asked — correct, just less isolated), and a streak of failures
+		// drops the whole runtime one ladder rung.
+		rt.queue.SetCUMaskChecked(mask, func(err error) {
+			if err != nil {
+				rt.noteIOCTLFailure()
+			} else {
+				rt.ioctlFailStreak = 0
+			}
+			maskApplied.Complete()
+		})
 	}, nil)
 	// Second barrier: blocks the kernel packet until the IOCTL applied
 	// the new mask, avoiding the mask/kernel race.

@@ -1,0 +1,306 @@
+// Package faults is a deterministic, seed-driven fault injector for the
+// KRISP simulation stack. Real spatially-partitioned fleets see degraded
+// CUs, stuck packet processors, failed or slow CU-mask reconfigurations,
+// and straggler kernels; a Plan describes such a fault timeline and an
+// Injector replays it against the simulated devices and command
+// processors, on the sim.Engine clock, with every probabilistic draw taken
+// from the plan's seed so a chaos run is exactly reproducible.
+//
+// The injector is strictly opt-in: an empty Plan arms nothing, installs no
+// hooks, schedules no events, and draws no random numbers, so a fault-free
+// run is bit-identical to one on a build without this package.
+package faults
+
+import (
+	"math/rand"
+
+	"krisp/internal/gpu"
+	"krisp/internal/hsa"
+	"krisp/internal/sim"
+)
+
+// CUKill schedules the permanent death of one CU at a point in virtual
+// time. The device re-masks in-flight and future launches around it; the
+// last healthy CU of a device is never killed.
+type CUKill struct {
+	At  sim.Time
+	GPU int // device index; out-of-range entries are ignored
+	CU  int
+}
+
+// CUDegrade slows one CU by Stretch (extra per-wave cost: 1.0 ≈ half
+// speed) for Duration of virtual time; a zero Duration degrades it for the
+// rest of the run.
+type CUDegrade struct {
+	At       sim.Time
+	GPU      int
+	CU       int
+	Stretch  float64
+	Duration sim.Duration
+}
+
+// QueueStall freezes one HSA queue's packet processor for Duration
+// starting at At. Queue indexes the device's queues in creation order (the
+// worker index on that GPU). A very large Duration models a hung packet
+// processor that only a watchdog reset recovers.
+type QueueStall struct {
+	At       sim.Time
+	GPU      int
+	Queue    int
+	Duration sim.Duration
+}
+
+// IOCTLFaults is the probabilistic fault model of the CU-mask IOCTL — the
+// reconfiguration path the paper's emulation methodology leans on and the
+// one ECLIP identifies as too expensive to exercise per kernel.
+type IOCTLFaults struct {
+	// FailProb is the probability a SetCUMask IOCTL fails outright (the
+	// latency is paid, the mask does not change).
+	FailProb float64
+	// SlowProb is the probability the IOCTL takes SlowExtra longer,
+	// lengthening the global IOCTL serialization window.
+	SlowProb  float64
+	SlowExtra sim.Duration
+}
+
+// KernelFaults is the probabilistic per-dispatch fault model.
+type KernelFaults struct {
+	// StragglerProb turns a dispatch into a straggler whose execution time
+	// multiplies by StragglerStretch (default 4x when zero).
+	StragglerProb    float64
+	StragglerStretch float64
+	// TransientFailProb makes a dispatch run to completion but fail — the
+	// hardened runtime retries it with exponential backoff.
+	TransientFailProb float64
+}
+
+// Plan is a complete fault scenario plus the knobs of the hardened serving
+// path that reacts to it. The zero value is the empty plan: nothing is
+// injected and the serving path is byte-for-byte the fault-free one.
+type Plan struct {
+	// Seed drives every probabilistic draw; runs with equal seeds and
+	// plans are identical.
+	Seed int64
+
+	CUKills     []CUKill
+	CUDegrades  []CUDegrade
+	QueueStalls []QueueStall
+	IOCTL       IOCTLFaults
+	Kernels     KernelFaults
+
+	// MaxRetries bounds relaunches of a transiently-failed kernel before
+	// it is abandoned (the batch continues without it). Zero means 3.
+	MaxRetries int
+	// RetryBackoff is the first retry delay; it doubles per attempt.
+	// Zero means 50us.
+	RetryBackoff sim.Duration
+	// IOCTLFailureStreak is the consecutive SetCUMask failure count that
+	// drops an emulated KRISP runtime from kernel-scoped masking to its
+	// stream-scoped mask (one rung down the degradation ladder). Zero
+	// means 3.
+	IOCTLFailureStreak int
+	// WatchdogTimeout is the per-batch watchdog deadline in virtual time;
+	// zero auto-sizes from the slowest worker's isolated latency.
+	WatchdogTimeout sim.Duration
+	// SLOP99 is the windowed-p99 batch-latency threshold above which the
+	// SLO guard widens masks (degradation ladder up); zero auto-sizes.
+	SLOP99 sim.Duration
+	// SLOWindow is the guard's sampling window; zero auto-sizes.
+	SLOWindow sim.Duration
+	// SLOCooldown is how long the guard waits after a widening before it
+	// re-tightens; zero means two windows.
+	SLOCooldown sim.Duration
+}
+
+// Empty reports whether the plan injects nothing. Hardening knobs alone do
+// not make a plan non-empty: with no fault sources the hardened path is
+// not armed at all, which is what keeps an empty-plan run bit-identical
+// to a nil-plan run.
+func (p *Plan) Empty() bool {
+	if p == nil {
+		return true
+	}
+	return len(p.CUKills) == 0 && len(p.CUDegrades) == 0 && len(p.QueueStalls) == 0 &&
+		p.IOCTL.FailProb == 0 && p.IOCTL.SlowProb == 0 &&
+		p.Kernels.StragglerProb == 0 && p.Kernels.TransientFailProb == 0
+}
+
+// Stats aggregates what the injector did and how the hardened serving path
+// reacted. It is shared (single simulation goroutine) by the injector, the
+// runtimes, and the server watchdog/SLO guard, and surfaced on
+// server.Result.
+type Stats struct {
+	// Injected faults.
+	CUKills                 int `json:"cu_kills,omitempty"`
+	CUDegrades              int `json:"cu_degrades,omitempty"`
+	QueueStalls             int `json:"queue_stalls,omitempty"`
+	IOCTLFailures           int `json:"ioctl_failures,omitempty"`
+	IOCTLDelays             int `json:"ioctl_delays,omitempty"`
+	KernelStragglers        int `json:"kernel_stragglers,omitempty"`
+	KernelTransientFailures int `json:"kernel_transient_failures,omitempty"`
+
+	// Reactions of the hardened serving path.
+	KernelRetries    int `json:"kernel_retries,omitempty"`
+	KernelsAbandoned int `json:"kernels_abandoned,omitempty"`
+	// HealthRemasks counts dispatches whose resource mask was shrunk
+	// around dead CUs.
+	HealthRemasks int `json:"health_remasks,omitempty"`
+	// MaskFallbacks counts kernels that ran on the stale stream mask
+	// because their kernel-scoped mask set failed (ladder rung 1, per
+	// kernel).
+	MaskFallbacks int `json:"mask_fallbacks,omitempty"`
+	// StreamFallbacks / FullGPUFallbacks count degradation-ladder
+	// transitions: kernel-scoped → stream-scoped and stream-scoped →
+	// full-GPU.
+	StreamFallbacks  int `json:"stream_fallbacks,omitempty"`
+	FullGPUFallbacks int `json:"full_gpu_fallbacks,omitempty"`
+	// LadderTightenings counts steps back toward kernel-scoped masking
+	// after a cool-down.
+	LadderTightenings int `json:"ladder_tightenings,omitempty"`
+	WatchdogTrips     int `json:"watchdog_trips,omitempty"`
+	WatchdogResets    int `json:"watchdog_resets,omitempty"`
+	SLOWidenings      int `json:"slo_widenings,omitempty"`
+	// DegradedTime sums, across runtimes, the virtual time spent above
+	// ladder level 0 (runtime-microseconds).
+	DegradedTime sim.Duration `json:"degraded_time_us,omitempty"`
+}
+
+// Injector replays a Plan against a simulation stack. Create one per run
+// with NewInjector, install it on each command processor (it implements
+// hsa.FaultHook), and Arm it once the devices and queues exist.
+type Injector struct {
+	plan  Plan
+	eng   *sim.Engine
+	rng   *rand.Rand
+	Stats Stats
+}
+
+// NewInjector binds a plan to an engine. The plan is copied; defaults for
+// the hardening knobs are resolved by the accessors below.
+func NewInjector(eng *sim.Engine, plan Plan) *Injector {
+	return &Injector{
+		plan: plan,
+		eng:  eng,
+		rng:  rand.New(rand.NewSource(plan.Seed ^ 0x6b72697370)), // "krisp"
+	}
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// MaxRetries resolves the plan's retry bound (default 3).
+func (in *Injector) MaxRetries() int {
+	if in.plan.MaxRetries > 0 {
+		return in.plan.MaxRetries
+	}
+	return 3
+}
+
+// RetryBackoff resolves the first retry delay (default 50us).
+func (in *Injector) RetryBackoff() sim.Duration {
+	if in.plan.RetryBackoff > 0 {
+		return in.plan.RetryBackoff
+	}
+	return 50
+}
+
+// IOCTLFailureStreak resolves the ladder's consecutive-failure trigger
+// (default 3).
+func (in *Injector) IOCTLFailureStreak() int {
+	if in.plan.IOCTLFailureStreak > 0 {
+		return in.plan.IOCTLFailureStreak
+	}
+	return 3
+}
+
+// Arm schedules the plan's deterministic fault timeline against the given
+// devices and command processors (index i of each slice is GPU i). Entries
+// referencing a GPU, CU, or queue that does not exist are skipped. Arm
+// must be called after the serving stack has created its queues.
+func (in *Injector) Arm(devs []*gpu.Device, cps []*hsa.CommandProcessor) {
+	schedule := func(at sim.Time, fn func()) {
+		if at < in.eng.Now() {
+			at = in.eng.Now()
+		}
+		in.eng.At(at, fn)
+	}
+	for _, k := range in.plan.CUKills {
+		k := k
+		if k.GPU < 0 || k.GPU >= len(devs) {
+			continue
+		}
+		schedule(k.At, func() {
+			if devs[k.GPU].KillCU(k.CU) {
+				in.Stats.CUKills++
+			}
+		})
+	}
+	for _, dgr := range in.plan.CUDegrades {
+		dgr := dgr
+		if dgr.GPU < 0 || dgr.GPU >= len(devs) || dgr.Stretch <= 0 {
+			continue
+		}
+		schedule(dgr.At, func() {
+			dev := devs[dgr.GPU]
+			if dgr.CU < 0 || dgr.CU >= dev.Spec.Topo.TotalCUs() {
+				return
+			}
+			dev.SetCUDegrade(dgr.CU, dgr.Stretch)
+			in.Stats.CUDegrades++
+			if dgr.Duration > 0 {
+				in.eng.After(dgr.Duration, func() { dev.SetCUDegrade(dgr.CU, 0) })
+			}
+		})
+	}
+	for _, st := range in.plan.QueueStalls {
+		st := st
+		if st.GPU < 0 || st.GPU >= len(cps) || st.Duration <= 0 {
+			continue
+		}
+		schedule(st.At, func() {
+			q := cps[st.GPU].Queue(st.Queue)
+			if q == nil {
+				return
+			}
+			q.StallFor(st.Duration)
+			in.Stats.QueueStalls++
+		})
+	}
+}
+
+// IOCTLOutcome implements hsa.FaultHook. Draws happen only for non-zero
+// probabilities, keeping the RNG stream stable across plans that do not
+// use a given fault class.
+func (in *Injector) IOCTLOutcome() (fail bool, extra sim.Duration) {
+	f := in.plan.IOCTL
+	if f.FailProb > 0 && in.rng.Float64() < f.FailProb {
+		in.Stats.IOCTLFailures++
+		return true, 0
+	}
+	if f.SlowProb > 0 && in.rng.Float64() < f.SlowProb {
+		in.Stats.IOCTLDelays++
+		return false, f.SlowExtra
+	}
+	return false, 0
+}
+
+// KernelOutcome implements hsa.FaultHook.
+func (in *Injector) KernelOutcome() (stretch float64, fail bool) {
+	k := in.plan.Kernels
+	stretch = 1
+	if k.StragglerProb > 0 && in.rng.Float64() < k.StragglerProb {
+		in.Stats.KernelStragglers++
+		stretch = k.StragglerStretch
+		if stretch <= 1 {
+			stretch = 4
+		}
+	}
+	if k.TransientFailProb > 0 && in.rng.Float64() < k.TransientFailProb {
+		in.Stats.KernelTransientFailures++
+		fail = true
+	}
+	return stretch, fail
+}
+
+// NoteHealthRemask implements hsa.FaultHook.
+func (in *Injector) NoteHealthRemask() { in.Stats.HealthRemasks++ }

@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"testing"
+
+	"krisp/internal/gpu"
+	"krisp/internal/hsa"
+	"krisp/internal/sim"
+)
+
+func TestPlanEmpty(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan not empty")
+	}
+	if !(&Plan{}).Empty() {
+		t.Error("zero plan not empty")
+	}
+	// Hardening knobs alone keep the plan empty.
+	if !(&Plan{Seed: 7, MaxRetries: 5, WatchdogTimeout: 100}).Empty() {
+		t.Error("knobs-only plan not empty")
+	}
+	cases := []Plan{
+		{CUKills: []CUKill{{At: 1, CU: 0}}},
+		{CUDegrades: []CUDegrade{{At: 1, CU: 0, Stretch: 1}}},
+		{QueueStalls: []QueueStall{{At: 1, Duration: 10}}},
+		{IOCTL: IOCTLFaults{FailProb: 0.1}},
+		{IOCTL: IOCTLFaults{SlowProb: 0.1}},
+		{Kernels: KernelFaults{StragglerProb: 0.1}},
+		{Kernels: KernelFaults{TransientFailProb: 0.1}},
+	}
+	for i, p := range cases {
+		if p.Empty() {
+			t.Errorf("case %d: fault-bearing plan reported empty", i)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	eng := sim.New()
+	in := NewInjector(eng, Plan{})
+	if in.MaxRetries() != 3 {
+		t.Errorf("MaxRetries default = %d", in.MaxRetries())
+	}
+	if in.RetryBackoff() != 50 {
+		t.Errorf("RetryBackoff default = %v", in.RetryBackoff())
+	}
+	if in.IOCTLFailureStreak() != 3 {
+		t.Errorf("IOCTLFailureStreak default = %d", in.IOCTLFailureStreak())
+	}
+	in2 := NewInjector(eng, Plan{MaxRetries: 1, RetryBackoff: 7, IOCTLFailureStreak: 9})
+	if in2.MaxRetries() != 1 || in2.RetryBackoff() != 7 || in2.IOCTLFailureStreak() != 9 {
+		t.Error("explicit hardening knobs not honoured")
+	}
+}
+
+func newStack() (*sim.Engine, *gpu.Device, *hsa.CommandProcessor) {
+	eng := sim.New()
+	dev := gpu.NewDevice(eng, gpu.MI50Spec(), nil)
+	cp := hsa.NewCommandProcessor(eng, dev, hsa.DefaultConfig())
+	return eng, dev, cp
+}
+
+func TestArmReplaysTimeline(t *testing.T) {
+	eng, dev, cp := newStack()
+	q := cp.NewQueue()
+	in := NewInjector(eng, Plan{
+		CUKills:     []CUKill{{At: 100, GPU: 0, CU: 5}},
+		CUDegrades:  []CUDegrade{{At: 200, GPU: 0, CU: 6, Stretch: 1, Duration: 300}},
+		QueueStalls: []QueueStall{{At: 250, GPU: 0, Queue: 0, Duration: 50}},
+	})
+	in.Arm([]*gpu.Device{dev}, []*hsa.CommandProcessor{cp})
+
+	eng.RunUntil(150)
+	if dev.HealthMask().Has(5) {
+		t.Error("CU 5 still healthy after scheduled kill")
+	}
+	eng.RunUntil(220)
+	if dev.DegradedCUs() != 1 {
+		t.Errorf("DegradedCUs = %d at t=220", dev.DegradedCUs())
+	}
+	eng.RunUntil(260)
+	if !q.Stalled() {
+		t.Error("queue not stalled at t=260")
+	}
+	eng.RunUntil(1000)
+	if dev.DegradedCUs() != 0 {
+		t.Errorf("degrade window did not expire: %d degraded CUs", dev.DegradedCUs())
+	}
+	if q.Stalled() {
+		t.Error("stall did not expire")
+	}
+	s := in.Stats
+	if s.CUKills != 1 || s.CUDegrades != 1 || s.QueueStalls != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestArmSkipsOutOfRangeTargets(t *testing.T) {
+	eng, dev, cp := newStack()
+	cp.NewQueue()
+	in := NewInjector(eng, Plan{
+		CUKills:     []CUKill{{At: 1, GPU: 3, CU: 0}},
+		CUDegrades:  []CUDegrade{{At: 1, GPU: 0, CU: 999, Stretch: 1}},
+		QueueStalls: []QueueStall{{At: 1, GPU: 0, Queue: 7, Duration: 10}},
+	})
+	in.Arm([]*gpu.Device{dev}, []*hsa.CommandProcessor{cp})
+	eng.Run()
+	s := in.Stats
+	if s.CUKills != 0 || s.CUDegrades != 0 || s.QueueStalls != 0 {
+		t.Errorf("out-of-range faults were applied: %+v", s)
+	}
+}
+
+func TestProbabilisticDrawsDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) ([]bool, []float64) {
+		eng := sim.New()
+		in := NewInjector(eng, Plan{
+			Seed:    seed,
+			IOCTL:   IOCTLFaults{FailProb: 0.3, SlowProb: 0.3, SlowExtra: 11},
+			Kernels: KernelFaults{StragglerProb: 0.3, StragglerStretch: 2, TransientFailProb: 0.3},
+		})
+		var fails []bool
+		var stretches []float64
+		for i := 0; i < 200; i++ {
+			f, _ := in.IOCTLOutcome()
+			fails = append(fails, f)
+			s, kf := in.KernelOutcome()
+			stretches = append(stretches, s)
+			fails = append(fails, kf)
+		}
+		return fails, stretches
+	}
+	f1, s1 := draw(42)
+	f2, s2 := draw(42)
+	f3, _ := draw(43)
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("same-seed draw %d differs", i)
+		}
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same-seed stretch %d differs", i)
+		}
+	}
+	same := true
+	for i := range f1 {
+		if f1[i] != f3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical draw sequences")
+	}
+}
+
+func TestZeroProbDrawsNothing(t *testing.T) {
+	eng := sim.New()
+	in := NewInjector(eng, Plan{})
+	for i := 0; i < 100; i++ {
+		if fail, extra := in.IOCTLOutcome(); fail || extra != 0 {
+			t.Fatal("zero-prob IOCTL outcome non-clean")
+		}
+		if stretch, fail := in.KernelOutcome(); stretch != 1 || fail {
+			t.Fatal("zero-prob kernel outcome non-clean")
+		}
+	}
+	s := in.Stats
+	if s.IOCTLFailures+s.IOCTLDelays+s.KernelStragglers+s.KernelTransientFailures != 0 {
+		t.Errorf("stats accumulated without faults: %+v", s)
+	}
+}
+
+func TestStragglerStretchDefault(t *testing.T) {
+	eng := sim.New()
+	in := NewInjector(eng, Plan{Kernels: KernelFaults{StragglerProb: 1}})
+	stretch, _ := in.KernelOutcome()
+	if stretch != 4 {
+		t.Errorf("default straggler stretch = %v, want 4", stretch)
+	}
+	in2 := NewInjector(eng, Plan{Kernels: KernelFaults{StragglerProb: 1, StragglerStretch: 2.5}})
+	if s, _ := in2.KernelOutcome(); s != 2.5 {
+		t.Errorf("explicit straggler stretch = %v, want 2.5", s)
+	}
+}

@@ -128,6 +128,17 @@ type Device struct {
 	eng      *sim.Engine
 	running  map[*Exec]struct{}
 	counters []int // per-CU count of kernels whose mask includes the CU (Resource Monitor)
+	// healthy tracks the CUs still alive; allHealthy short-circuits the
+	// per-launch health intersection while no CU has been killed, so the
+	// fault-free path stays bit-identical to a device without the health
+	// machinery.
+	healthy    CUMask
+	allHealthy bool
+	// degrade holds each CU's extra execution stretch (0 = full speed); a
+	// degraded CU slows every workgroup wave scheduled on its shader
+	// engine's enabled set proportionally. numDegraded gates the cost.
+	degrade     []float64
+	numDegraded int
 	// pressure is the per-CU sum of the running kernels' compute pressure
 	// (occupancy x compute-boundedness). It drives the contention model:
 	// a low-occupancy or bandwidth-bound co-runner barely disturbs a CU,
@@ -158,13 +169,95 @@ func NewDevice(eng *sim.Engine, spec DeviceSpec, meter Meter) *Device {
 		panic("gpu: MemBandwidth must be positive")
 	}
 	return &Device{
-		Spec:     spec,
-		eng:      eng,
-		running:  make(map[*Exec]struct{}),
-		counters: make([]int, spec.Topo.TotalCUs()),
-		pressure: make([]float64, spec.Topo.TotalCUs()),
-		meter:    meter,
+		Spec:       spec,
+		eng:        eng,
+		running:    make(map[*Exec]struct{}),
+		counters:   make([]int, spec.Topo.TotalCUs()),
+		pressure:   make([]float64, spec.Topo.TotalCUs()),
+		healthy:    FullMask(spec.Topo),
+		allHealthy: true,
+		degrade:    make([]float64, spec.Topo.TotalCUs()),
+		meter:      meter,
 	}
+}
+
+// HealthMask returns the bitmap of CUs still alive.
+func (d *Device) HealthMask() CUMask { return d.healthy }
+
+// AllHealthy reports whether no CU has been killed.
+func (d *Device) AllHealthy() bool { return d.allHealthy }
+
+// DegradedCUs returns the number of CUs currently running degraded.
+func (d *Device) DegradedCUs() int { return d.numDegraded }
+
+// KillCU permanently removes a CU from service: the health bitmap drops
+// it, in-flight executions whose mask includes it are re-masked onto their
+// surviving CUs (falling back to the whole healthy set when nothing
+// survives) and re-timed, and future launches are intersected with the
+// health bitmap. The last healthy CU can never be killed — the device
+// refuses (returns false) so the simulation always retains a making-
+// progress path.
+func (d *Device) KillCU(cu int) bool {
+	if cu < 0 || cu >= d.Spec.Topo.TotalCUs() || !d.healthy.Has(cu) {
+		return false
+	}
+	if d.healthy.Count() == 1 {
+		return false
+	}
+	d.accumulateBusy()
+	d.healthy = d.healthy.Clear(cu)
+	d.allHealthy = false
+	for x := range d.running {
+		if !x.mask.Has(cu) {
+			continue
+		}
+		// Release the old footprint, shrink the mask around the dead CU,
+		// and charge the new footprint.
+		for _, c := range x.mask.CUs() {
+			d.counters[c]--
+			d.pressure[c] -= x.pressure
+			if d.pressure[c] < 0 {
+				d.pressure[c] = 0
+			}
+		}
+		d.memPressure -= x.memIntensity
+		nm := x.mask.And(d.healthy)
+		if nm.IsEmpty() {
+			nm = d.healthy
+		}
+		x.mask = nm
+		x.pressure, x.memIntensity = d.pressureOf(x.work, nm)
+		for _, c := range nm.CUs() {
+			d.counters[c]++
+			d.pressure[c] += x.pressure
+		}
+		d.memPressure += x.memIntensity
+	}
+	d.retime()
+	d.observe()
+	return true
+}
+
+// SetCUDegrade sets a CU's extra execution stretch: 0 restores full speed,
+// 1.0 roughly doubles the cost of waves scheduled over it. Running kernels
+// are re-timed immediately.
+func (d *Device) SetCUDegrade(cu int, stretch float64) {
+	if cu < 0 || cu >= len(d.degrade) || stretch < 0 {
+		return
+	}
+	was, now := d.degrade[cu] > 0, stretch > 0
+	if was == now && d.degrade[cu] == stretch {
+		return
+	}
+	d.accumulateBusy()
+	d.degrade[cu] = stretch
+	switch {
+	case now && !was:
+		d.numDegraded++
+	case was && !now:
+		d.numDegraded--
+	}
+	d.retime()
 }
 
 // KernelCount returns the number of kernels currently assigned to CU cu —
@@ -227,6 +320,15 @@ func (d *Device) Launch(work KernelWork, mask CUMask, onDone func()) *Exec {
 	}
 	if work.Workgroups <= 0 {
 		panic(fmt.Sprintf("gpu: Launch with %d workgroups", work.Workgroups))
+	}
+	if !d.allHealthy {
+		// Re-mask around dead CUs; a mask with no survivors falls back to
+		// the whole healthy set so the launch always makes progress.
+		if m := mask.And(d.healthy); m.IsEmpty() {
+			mask = d.healthy
+		} else {
+			mask = m
+		}
 	}
 	d.accumulateBusy()
 	d.nextID++
@@ -401,6 +503,21 @@ func (d *Device) duration(work KernelWork, mask CUMask, ownPressure, ownMem floa
 		waveCost := wq
 		if work.WaveExponent > 0 && work.WaveExponent != 1 && wq > 1 {
 			waveCost = math.Pow(wq, work.WaveExponent)
+		}
+		// Degraded CUs slow the waves scheduled across this SE's enabled
+		// set in proportion to how much of the set they are. Gated on
+		// numDegraded so the fault-free path performs no extra float work.
+		if d.numDegraded > 0 {
+			sumDeg := 0.0
+			for c := 0; c < topo.CUsPerSE; c++ {
+				cu := topo.CUIndex(se, c)
+				if mask.Has(cu) {
+					sumDeg += d.degrade[cu]
+				}
+			}
+			if sumDeg > 0 {
+				waveCost *= 1 + sumDeg/float64(a)
+			}
 		}
 		// Contention stretch: co-runners always cost a little (cache and
 		// scheduler interference, ShareTax), and once the enabled CUs'

@@ -1,0 +1,136 @@
+package gpu
+
+import (
+	"testing"
+
+	"krisp/internal/sim"
+)
+
+func TestKillCUShrinksHealthAndFutureLaunches(t *testing.T) {
+	eng, d := newTestDevice()
+	if !d.AllHealthy() {
+		t.Fatal("fresh device not all-healthy")
+	}
+	if !d.KillCU(0) || !d.KillCU(1) {
+		t.Fatal("KillCU refused on a healthy device")
+	}
+	if d.AllHealthy() || d.HealthMask().Count() != 58 {
+		t.Fatalf("health after two kills: %d CUs", d.HealthMask().Count())
+	}
+	// A launch asking for the dead CUs is re-masked around them.
+	var got CUMask
+	done := false
+	x := d.Launch(computeKernel(10), RangeMask(MI50, 0, 4), func() { done = true })
+	got = x.Mask()
+	if got.Has(0) || got.Has(1) {
+		t.Errorf("launch mask still includes dead CUs: %v", got)
+	}
+	if got.Count() != 2 {
+		t.Errorf("launch mask has %d CUs, want the 2 survivors", got.Count())
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("launch on re-masked CUs never completed")
+	}
+}
+
+func TestKillCUFallsBackToHealthySetWhenMaskDies(t *testing.T) {
+	eng, d := newTestDevice()
+	done := false
+	d.Launch(computeKernel(10), RangeMask(MI50, 0, 1), func() { done = true })
+	// Kill the only CU the kernel runs on: it must be re-masked onto the
+	// surviving set and still complete.
+	if !d.KillCU(0) {
+		t.Fatal("KillCU refused")
+	}
+	for x := range d.running {
+		if x.mask.Has(0) {
+			t.Error("in-flight exec still masked to the dead CU")
+		}
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("kernel never completed after its CU died")
+	}
+	if c := d.KernelCount(0); c != 0 {
+		t.Errorf("dead CU still has kernel counter %d", c)
+	}
+}
+
+func TestKillCURefusesLastHealthyCU(t *testing.T) {
+	_, d := newTestDevice()
+	for cu := 0; cu < 59; cu++ {
+		if !d.KillCU(cu) {
+			t.Fatalf("KillCU(%d) refused", cu)
+		}
+	}
+	if d.KillCU(59) {
+		t.Fatal("killed the last healthy CU")
+	}
+	if d.HealthMask().Count() != 1 {
+		t.Fatalf("%d healthy CUs, want 1", d.HealthMask().Count())
+	}
+}
+
+func TestKillCUReleasesOldFootprint(t *testing.T) {
+	eng, d := newTestDevice()
+	d.Launch(computeKernel(600), FullMask(MI50), nil)
+	d.KillCU(3)
+	// The dead CU's counter must be zero, every survivor's still 1.
+	if d.KernelCount(3) != 0 {
+		t.Errorf("dead CU counter = %d", d.KernelCount(3))
+	}
+	for cu := 0; cu < 60; cu++ {
+		if cu == 3 {
+			continue
+		}
+		if d.KernelCount(cu) != 1 {
+			t.Fatalf("CU %d counter = %d, want 1", cu, d.KernelCount(cu))
+		}
+	}
+	eng.Run()
+	for cu := 0; cu < 60; cu++ {
+		if d.KernelCount(cu) != 0 {
+			t.Fatalf("CU %d counter = %d after completion", cu, d.KernelCount(cu))
+		}
+	}
+}
+
+func TestDegradedCUSlowsExecution(t *testing.T) {
+	_, d := newTestDevice()
+	mask := RangeMask(MI50, 0, 15) // all of SE0
+	base := d.IsolatedDuration(computeKernel(150), mask)
+
+	d.SetCUDegrade(0, 1.0)
+	if d.DegradedCUs() != 1 {
+		t.Fatalf("DegradedCUs = %d", d.DegradedCUs())
+	}
+	slow := d.IsolatedDuration(computeKernel(150), mask)
+	if slow <= base {
+		t.Errorf("degraded duration %v not above baseline %v", slow, base)
+	}
+
+	d.SetCUDegrade(0, 0)
+	if d.DegradedCUs() != 0 {
+		t.Fatalf("DegradedCUs = %d after restore", d.DegradedCUs())
+	}
+	if got := d.IsolatedDuration(computeKernel(150), mask); got != base {
+		t.Errorf("restored duration %v != baseline %v", got, base)
+	}
+}
+
+func TestDegradeRetimesInFlightKernel(t *testing.T) {
+	eng, d := newTestDevice()
+	var doneAt sim.Time
+	mask := RangeMask(MI50, 0, 15)
+	base := d.IsolatedDuration(computeKernel(150), mask)
+	d.Launch(computeKernel(150), mask, func() { doneAt = eng.Now() })
+
+	// Halfway through, degrade one of its CUs: completion must move out.
+	eng.RunUntil(base / 2)
+	d.SetCUDegrade(0, 2.0)
+	eng.Run()
+	if doneAt <= base {
+		t.Errorf("degraded mid-flight kernel finished at %v, no later than solo %v", doneAt, base)
+	}
+}

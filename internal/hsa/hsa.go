@@ -13,11 +13,18 @@
 package hsa
 
 import (
+	"errors"
+
 	"krisp/internal/alloc"
 	"krisp/internal/gpu"
 	"krisp/internal/kernels"
 	"krisp/internal/sim"
 )
+
+// ErrIOCTLFault is reported to SetCUMaskChecked callers when fault
+// injection fails the CU-mask IOCTL: the syscall consumed its latency but
+// the queue mask was left unchanged.
+var ErrIOCTLFault = errors.New("hsa: CU-mask IOCTL failed")
 
 // Signal is an HSA completion signal: a counter that barrier packets and
 // host code can wait on. It is decremented by Complete; observers fire
@@ -25,6 +32,14 @@ import (
 type Signal struct {
 	value   int
 	waiters []func()
+	// fired latches once waiters have been notified, and overruns counts
+	// Complete calls past zero. Together they make the signal defensive
+	// against double completion: injected faults (a retry path completing a
+	// packet a second time, a watchdog racing a late completion) can
+	// over-complete a signal, and without the guard that would silently
+	// corrupt the dependency counts of barrier packets waiting on it.
+	fired    bool
+	overruns int
 }
 
 // NewSignal creates a signal with the given initial value. A value of 0 is
@@ -34,13 +49,30 @@ func NewSignal(initial int) *Signal { return &Signal{value: initial} }
 // Done reports whether the signal has reached zero.
 func (s *Signal) Done() bool { return s.value <= 0 }
 
+// Value returns the remaining completion count (never below zero).
+func (s *Signal) Value() int {
+	if s.value < 0 {
+		return 0
+	}
+	return s.value
+}
+
+// Overruns returns how many Complete calls arrived after the signal had
+// already reached zero — always zero in a fault-free run.
+func (s *Signal) Overruns() int { return s.overruns }
+
 // Complete decrements the signal; at zero all waiters fire (once).
+// Completing an already-done signal is counted as an overrun and otherwise
+// ignored, so waiters can never fire twice and barrier dependency counts
+// cannot go negative.
 func (s *Signal) Complete() {
 	if s.value <= 0 {
+		s.overruns++
 		return
 	}
 	s.value--
-	if s.value == 0 {
+	if s.value == 0 && !s.fired {
+		s.fired = true
 		ws := s.waiters
 		s.waiters = nil
 		for _, w := range ws {
@@ -98,6 +130,32 @@ type Packet struct {
 	// OnDispatch, if non-nil, runs when a kernel packet is handed to the
 	// device, with the resource mask it was granted. Tracing hook.
 	OnDispatch func(mask gpu.CUMask)
+
+	// OnFault, if non-nil, is invoked INSTEAD of Completion when fault
+	// injection turns this dispatch into a transient failure: the kernel
+	// occupied the device for its full duration but its result is lost
+	// (the software-visible shape of an ECC/queue-preemption error). A
+	// packet without an OnFault handler swallows the failure and completes
+	// normally, so untracked callers can never deadlock on a lost signal.
+	OnFault func()
+}
+
+// FaultHook is the injection surface the command processor consults when
+// fault injection is armed (see internal/faults). All methods are called
+// from the simulation goroutine; a nil hook means a fault-free run and
+// costs a single pointer check per consultation site.
+type FaultHook interface {
+	// IOCTLOutcome is consulted once per CU-mask IOCTL: fail aborts the
+	// mask change after the syscall latency elapses, extra adds a latency
+	// spike on top of the configured IOCTLLatency.
+	IOCTLOutcome() (fail bool, extra sim.Duration)
+	// KernelOutcome is consulted once per kernel dispatch: stretch > 1
+	// turns the kernel into a straggler (its execution time multiplies),
+	// fail turns it into a transient failure routed to Packet.OnFault.
+	KernelOutcome() (stretch float64, fail bool)
+	// NoteHealthRemask records that a dispatch's resource mask had to be
+	// shrunk around dead CUs.
+	NoteHealthRemask()
 }
 
 // Config parameterizes the command processor.
@@ -146,9 +204,24 @@ type CommandProcessor struct {
 	ioctlFreeAt sim.Time
 	nextQueueID int
 	queues      []*Queue
+	faults      FaultHook
 
 	// DispatchCount counts kernels launched (for tests and stats).
 	DispatchCount int
+}
+
+// SetFaults installs (or clears, with nil) the fault-injection hook.
+func (cp *CommandProcessor) SetFaults(f FaultHook) { cp.faults = f }
+
+// NumQueues returns the number of queues created on this processor.
+func (cp *CommandProcessor) NumQueues() int { return len(cp.queues) }
+
+// Queue returns the i-th queue in creation order, or nil when out of range.
+func (cp *CommandProcessor) Queue(i int) *Queue {
+	if i < 0 || i >= len(cp.queues) {
+		return nil
+	}
+	return cp.queues[i]
 }
 
 // ActiveStreams returns the number of queues currently holding or
@@ -194,6 +267,12 @@ type Queue struct {
 
 	packets []Packet
 	busy    bool // a packet from this queue is being processed or executing
+
+	// stalledUntil freezes the packet processor: while now < stalledUntil
+	// no new packet is consumed (a packet already mid-flight finishes).
+	// resume is the event that restarts the pump when the stall expires.
+	stalledUntil sim.Time
+	resume       *sim.Event
 }
 
 // NewQueue allocates a queue whose initial CU mask is the full device.
@@ -216,23 +295,91 @@ func (q *Queue) CUMask() gpu.CUMask { return q.mask }
 // completes; onApplied, if non-nil, runs at that point. Kernels dispatched
 // before the IOCTL completes use the old mask — the race the paper's
 // emulation methodology guards against with its second barrier packet.
+// Injected IOCTL failures are swallowed (the mask is simply left
+// unchanged); callers that must react to them use SetCUMaskChecked.
 func (q *Queue) SetCUMask(mask gpu.CUMask, onApplied func()) {
+	if onApplied == nil {
+		q.SetCUMaskChecked(mask, nil)
+		return
+	}
+	q.SetCUMaskChecked(mask, func(error) { onApplied() })
+}
+
+// SetCUMaskChecked is SetCUMask with an outcome: onApplied receives nil
+// when the mask took effect, or ErrIOCTLFault when fault injection failed
+// the IOCTL (latency paid, mask unchanged). Latency spikes injected on the
+// IOCTL path lengthen the global serialization window exactly as a slow
+// real syscall would.
+func (q *Queue) SetCUMaskChecked(mask gpu.CUMask, onApplied func(err error)) {
 	if mask.IsEmpty() {
 		panic("hsa: SetCUMask with empty mask")
 	}
 	cp := q.cp
+	var fail bool
+	var extra sim.Duration
+	if cp.faults != nil {
+		fail, extra = cp.faults.IOCTLOutcome()
+	}
 	start := cp.eng.Now()
 	if cp.ioctlFreeAt > start {
 		start = cp.ioctlFreeAt
 	}
-	applyAt := start + cp.cfg.IOCTLLatency
+	applyAt := start + cp.cfg.IOCTLLatency + extra
 	cp.ioctlFreeAt = applyAt
 	cp.eng.At(applyAt, func() {
+		if fail {
+			if onApplied != nil {
+				onApplied(ErrIOCTLFault)
+			}
+			return
+		}
 		q.mask = mask
 		if onApplied != nil {
-			onApplied()
+			onApplied(nil)
 		}
 	})
+}
+
+// StallFor freezes this queue's packet processor for d microseconds from
+// now: no further packet is consumed until the stall expires (or a
+// watchdog calls ResetStall). Overlapping stalls extend to the furthest
+// deadline. A packet already mid-flight completes normally.
+func (q *Queue) StallFor(d sim.Duration) {
+	until := q.cp.eng.Now() + d
+	if until <= q.stalledUntil {
+		return
+	}
+	q.stalledUntil = until
+	if q.resume != nil {
+		q.cp.eng.Cancel(q.resume)
+	}
+	q.resume = q.cp.eng.At(until, func() {
+		q.resume = nil
+		q.pump()
+	})
+}
+
+// Stalled reports whether the packet processor is currently frozen.
+func (q *Queue) Stalled() bool { return q.cp.eng.Now() < q.stalledUntil }
+
+// StalledUntil returns the time the current stall expires (zero when the
+// queue has never stalled).
+func (q *Queue) StalledUntil() sim.Time { return q.stalledUntil }
+
+// ResetStall clears an active stall immediately — the driver-level queue
+// reset a watchdog performs on a hung packet processor — and restarts the
+// pump. It reports whether a stall was actually cleared.
+func (q *Queue) ResetStall() bool {
+	if !q.Stalled() {
+		return false
+	}
+	q.stalledUntil = q.cp.eng.Now()
+	if q.resume != nil {
+		q.cp.eng.Cancel(q.resume)
+		q.resume = nil
+	}
+	q.pump()
+	return true
 }
 
 // Submit enqueues a packet and rings the doorbell.
@@ -283,10 +430,13 @@ func (q *Queue) SubmitBarrier(deps []*Signal, callback func(), completion *Signa
 // one currently being processed).
 func (q *Queue) Pending() int { return len(q.packets) }
 
-// pump consumes the next packet if the queue is idle.
+// pump consumes the next packet if the queue is idle and not stalled.
 func (q *Queue) pump() {
 	if q.busy || len(q.packets) == 0 {
 		return
+	}
+	if q.Stalled() {
+		return // the stall's resume event re-pumps
 	}
 	q.busy = true
 	p := q.packets[0]
@@ -325,12 +475,37 @@ func (q *Queue) processKernel(p Packet) {
 				MinGrant:     minGrant,
 			})
 		}
+		if !cp.dev.AllHealthy() {
+			// Dead CUs are masked out before dispatch; an all-dead grant
+			// falls back to the surviving set so the kernel still runs.
+			if m := mask.And(cp.dev.HealthMask()); !m.Equal(mask) {
+				if m.IsEmpty() {
+					m = cp.dev.HealthMask()
+				}
+				mask = m
+				if cp.faults != nil {
+					cp.faults.NoteHealthRemask()
+				}
+			}
+		}
+		work := p.Kernel.Work
+		var faulted bool
+		if cp.faults != nil {
+			stretch, fail := cp.faults.KernelOutcome()
+			if stretch > 1 {
+				work.WGTime *= stretch
+				work.Tail *= stretch
+			}
+			faulted = fail
+		}
 		cp.DispatchCount++
 		if p.OnDispatch != nil {
 			p.OnDispatch(mask)
 		}
-		cp.dev.Launch(p.Kernel.Work, mask, func() {
-			if p.Completion != nil {
+		cp.dev.Launch(work, mask, func() {
+			if faulted && p.OnFault != nil {
+				p.OnFault()
+			} else if p.Completion != nil {
 				p.Completion.Complete()
 			}
 			q.busy = false

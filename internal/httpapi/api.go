@@ -127,12 +127,15 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	m, ok := models.ByName(req.Model)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		// A bad name in a POSTed body is a malformed request, not a missing
+		// resource: 400, and the message names the valid choices.
+		writeError(w, http.StatusBadRequest, "unknown model %q (available: %s)",
+			req.Model, strings.Join(models.Names(), ", "))
 		return
 	}
 	kind, err := policies.ByName(req.Policy)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "%v (available: %s)", err, policyNames())
 		return
 	}
 	if req.Workers < 1 || req.Workers > 16 {
@@ -146,6 +149,10 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch must be in [1,256], got %d", req.Batch)
 		return
 	}
+	if req.RatePerSec < 0 {
+		writeError(w, http.StatusBadRequest, "rate_per_sec must be >= 0, got %v", req.RatePerSec)
+		return
+	}
 
 	specs := make([]server.WorkerSpec, req.Workers)
 	for i := range specs {
@@ -155,6 +162,10 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Policy:  kind,
 		Workers: specs,
 		Seed:    req.Seed,
+		// The simulation runs on this goroutine for up to several wall
+		// seconds; honoring the request context lets a disconnecting client
+		// abandon it instead of burning the server.
+		Ctx: r.Context(),
 	}
 	if req.Quick {
 		cfg.MeasureScale = 0.25
@@ -163,6 +174,10 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 	resp := SimulateResponse{Policy: kind.String(), Workers: req.Workers}
 	if req.RatePerSec > 0 {
 		res := server.RunOpenLoop(cfg, server.Arrival{RatePerSec: req.RatePerSec})
+		if res.Interrupted {
+			writeError(w, http.StatusRequestTimeout, "simulation aborted: request canceled")
+			return
+		}
 		resp.RPS = res.RPS
 		resp.P95Ms = res.MaxP95() / 1000
 		resp.EnergyPerInference = res.EnergyPerInference
@@ -172,6 +187,10 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		resp.RequestP95Ms = res.RequestLatency.P95() / 1000
 	} else {
 		res := server.Run(cfg)
+		if res.Interrupted {
+			writeError(w, http.StatusRequestTimeout, "simulation aborted: request canceled")
+			return
+		}
 		resp.RPS = res.RPS
 		resp.P95Ms = res.MaxP95() / 1000
 		resp.EnergyPerInference = res.EnergyPerInference
@@ -179,6 +198,16 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		resp.Oversubscribed = res.Oversubscribed
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// policyNames lists the accepted policy spellings for error messages.
+func policyNames() string {
+	all := policies.All()
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = p.String()
+	}
+	return strings.Join(names, ", ")
 }
 
 func handleExperimentList(w http.ResponseWriter, r *http.Request) {

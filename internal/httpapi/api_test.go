@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -113,15 +114,39 @@ func TestSimulateValidation(t *testing.T) {
 		want       int
 	}{
 		{"bad json", `{`, http.StatusBadRequest},
-		{"unknown model", `{"model":"nope","policy":"krisp-i","workers":1}`, http.StatusNotFound},
+		{"unknown model", `{"model":"nope","policy":"krisp-i","workers":1}`, http.StatusBadRequest},
 		{"unknown policy", `{"model":"albert","policy":"nope","workers":1}`, http.StatusBadRequest},
 		{"zero workers", `{"model":"albert","policy":"krisp-i","workers":0}`, http.StatusBadRequest},
+		{"too many workers", `{"model":"albert","policy":"krisp-i","workers":17}`, http.StatusBadRequest},
 		{"huge batch", `{"model":"albert","policy":"krisp-i","workers":1,"batch":999}`, http.StatusBadRequest},
+		{"negative rate", `{"model":"albert","policy":"krisp-i","workers":1,"rate_per_sec":-5}`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		if rec := post(t, "/v1/simulate", c.body); rec.Code != c.want {
 			t.Errorf("%s: status %d, want %d (%s)", c.name, rec.Code, c.want, rec.Body)
 		}
+	}
+	// Validation errors must say what the valid inputs are.
+	rec := post(t, "/v1/simulate", `{"model":"nope","policy":"krisp-i","workers":1}`)
+	if !strings.Contains(rec.Body.String(), "available") {
+		t.Errorf("unknown-model error does not list models: %s", rec.Body)
+	}
+	rec = post(t, "/v1/simulate", `{"model":"albert","policy":"nope","workers":1}`)
+	if !strings.Contains(rec.Body.String(), "krisp-i") {
+		t.Errorf("unknown-policy error does not list policies: %s", rec.Body)
+	}
+}
+
+func TestSimulateHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate",
+		strings.NewReader(`{"model":"squeezenet","policy":"krisp-i","workers":2,"quick":true}`)).
+		WithContext(ctx)
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("canceled request: status %d, want %d (%s)", rec.Code, http.StatusRequestTimeout, rec.Body)
 	}
 }
 

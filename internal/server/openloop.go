@@ -171,12 +171,23 @@ func (ol *openLoop) complete(arrivals []sim.Time) {
 
 // runOpenBatch serves one dynamically-formed batch on this worker.
 func (w *worker) runOpenBatch(arrivals []sim.Time) {
+	batchStart := w.eng.Now()
+	var wd *watchdog
+	if w.chaos != nil {
+		wd = w.chaos.armWatchdog(w)
+	}
 	w.eng.After(w.pre, func() {
 		descs := w.jitteredOpenKernels(len(arrivals))
 		w.rt.RunSequence(descs, func() {
 			w.eng.After(w.post, func() {
+				if wd != nil {
+					wd.stop()
+				}
 				end := w.eng.Now()
 				ol := w.openLoop
+				if w.chaos != nil {
+					w.chaos.observeBatch(end - batchStart)
+				}
 				ol.complete(arrivals)
 				if end > w.measureStart && end <= w.measureEnd {
 					w.stats.Batches++

@@ -52,6 +52,57 @@ func TestOpenLoopSaturation(t *testing.T) {
 	}
 }
 
+// TestOpenLoopPartialBatchAtTimeout pins the batching timeout behaviour:
+// when arrivals are sparser than Arrival.Timeout, the oldest request's
+// deadline flushes partial (mostly single-request) batches instead of
+// waiting for a full one, and a longer timeout buys bigger batches at the
+// same rate.
+func TestOpenLoopPartialBatchAtTimeout(t *testing.T) {
+	m := mustModel(t, "squeezenet")
+	run := func(timeoutUs float64) OpenLoopResult {
+		return RunOpenLoop(Config{
+			Policy:  policies.KRISPI,
+			Workers: []WorkerSpec{{Model: m, Batch: 32}, {Model: m, Batch: 32}},
+			Seed:    11,
+		}, Arrival{RatePerSec: 400, Timeout: timeoutUs})
+	}
+	short := run(200) // mean inter-arrival 2.5ms >> 200us timeout
+	if short.Completed < short.Offered*0.85 {
+		t.Errorf("timeout flush lost requests: completed %.0f of %.0f req/s",
+			short.Completed, short.Offered)
+	}
+	if short.MeanBatch >= 3 {
+		t.Errorf("mean batch = %.1f with a 200us timeout at 400 req/s, want ~1", short.MeanBatch)
+	}
+	long := run(20_000) // 20ms timeout accumulates ~8 arrivals
+	if long.MeanBatch <= short.MeanBatch*1.5 {
+		t.Errorf("longer timeout did not grow batches: %.1f vs %.1f",
+			long.MeanBatch, short.MeanBatch)
+	}
+}
+
+// TestOpenLoopSaturationReportsShortfall locks in the saturation contract
+// of OpenLoopResult: under extreme overload the result must report
+// Completed far below Offered (not silently clip Offered), while the
+// server still makes forward progress at its real capacity.
+func TestOpenLoopSaturationReportsShortfall(t *testing.T) {
+	res := runOpen(t, 200_000, 2)
+	if res.Offered != 200_000 {
+		t.Errorf("Offered = %.0f, want the configured 200000", res.Offered)
+	}
+	if res.Completed <= 0 {
+		t.Fatal("saturated server made no progress")
+	}
+	if res.Completed > res.Offered/4 {
+		t.Errorf("Completed %.0f req/s not << Offered %.0f under 40x overload",
+			res.Completed, res.Offered)
+	}
+	// Every completed batch is full under saturation.
+	if res.MeanBatch < 31 {
+		t.Errorf("mean batch = %.1f under extreme overload, want ~32", res.MeanBatch)
+	}
+}
+
 func TestOpenLoopLatencyMonotoneInLoad(t *testing.T) {
 	prev := 0.0
 	for _, rate := range []float64{500, 4000, 12000} {

@@ -12,11 +12,13 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"krisp/internal/core"
 	"krisp/internal/energy"
+	"krisp/internal/faults"
 	"krisp/internal/gpu"
 	"krisp/internal/hsa"
 	"krisp/internal/kernels"
@@ -76,6 +78,16 @@ type Config struct {
 	OverlapLimit *int
 	// Trace, if non-nil, records worker 0's kernel launches.
 	Trace *trace.Trace
+	// Faults, when non-nil and non-empty, arms the chaos substrate: the
+	// plan's fault timeline is injected on the simulation clock and the
+	// hardened serving path (watchdog, bounded retry, degradation ladder,
+	// SLO guard) is enabled. A nil or empty plan leaves serving results
+	// bit-identical to a build without fault injection.
+	Faults *faults.Plan
+	// Ctx, when non-nil, lets an external caller (an HTTP request, a
+	// deadline) abandon the simulation early; the engine polls it between
+	// events and Result.Interrupted reports the abort.
+	Ctx context.Context
 
 	// openLoop, when set by RunOpenLoop, replaces the closed-loop client
 	// with Poisson arrivals and dynamic batching.
@@ -113,6 +125,12 @@ type Result struct {
 	// Oversubscribed marks model-wise configurations whose partitions
 	// overlap (the paper's open-circle cases).
 	Oversubscribed bool
+	// Faults carries fault-injection and hardened-path counters; nil
+	// unless Config.Faults held a non-empty plan.
+	Faults *faults.Stats
+	// Interrupted marks a run abandoned early through Config.Ctx; the
+	// windowed metrics then cover only the portion actually simulated.
+	Interrupted bool
 }
 
 // TotalRequests sums completed requests across workers.
@@ -175,26 +193,29 @@ func Run(cfg Config) Result {
 
 	prof := profile.New(profile.Config{Spec: cfg.Spec, Tolerance: 0.05, LaunchOverhead: cfg.HSA.PacketProcessTime})
 
-	// Auto-size the window from the slowest worker's isolated latency.
-	if cfg.Warmup == 0 || cfg.Measure == 0 {
-		var slowest sim.Duration
+	chaosArmed := !cfg.Faults.Empty()
+
+	// The slowest worker's isolated latency sizes the windows and, when
+	// chaos is armed, the watchdog and SLO-guard defaults.
+	var slowest sim.Duration
+	if cfg.Warmup == 0 || cfg.Measure == 0 || chaosArmed {
 		for _, w := range cfg.Workers {
 			if l := prof.ModelLatency(w.Model.Kernels(w.Batch), cfg.Spec.Topo.TotalCUs()); l > slowest {
 				slowest = l
 			}
 		}
 		slowest += cfg.PreprocessUs + cfg.PostprocessUs
-		if cfg.Warmup == 0 {
-			cfg.Warmup = 5 * slowest
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 5 * slowest
+	}
+	if cfg.Measure == 0 {
+		// Enough for ~60 samples per worker at ~3x contention slowdown.
+		scale := cfg.MeasureScale
+		if scale <= 0 {
+			scale = 1
 		}
-		if cfg.Measure == 0 {
-			// Enough for ~60 samples per worker at ~3x contention slowdown.
-			scale := cfg.MeasureScale
-			if scale <= 0 {
-				scale = 1
-			}
-			cfg.Measure = 180 * slowest * scale
-		}
+		cfg.Measure = 180 * slowest * scale
 	}
 
 	// Per-worker model right-sizes feed the model-granular policies.
@@ -257,10 +278,18 @@ func Run(cfg Config) Result {
 	}
 
 	eng := sim.New()
+	if cfg.Ctx != nil {
+		ctx := cfg.Ctx
+		eng.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
 	type gpuStack struct {
 		meter *energy.Meter
 		dev   *gpu.Device
 		cp    *hsa.CommandProcessor
+	}
+	var inj *faults.Injector
+	if chaosArmed {
+		inj = faults.NewInjector(eng, *cfg.Faults)
 	}
 	hsaCfg := cfg.HSA
 	hsaCfg.KernelScoped = cfg.Policy.KernelScoped() && !cfg.ForceEmulation
@@ -268,7 +297,11 @@ func Run(cfg Config) Result {
 	for g := range gpus {
 		meter := energy.NewMeter(cfg.Power)
 		dev := gpu.NewDevice(eng, cfg.Spec, meter)
-		gpus[g] = gpuStack{meter: meter, dev: dev, cp: hsa.NewCommandProcessor(eng, dev, hsaCfg)}
+		cp := hsa.NewCommandProcessor(eng, dev, hsaCfg)
+		if inj != nil {
+			cp.SetFaults(inj)
+		}
+		gpus[g] = gpuStack{meter: meter, dev: dev, cp: cp}
 	}
 	rs := core.NewRightSizer(db, cfg.Spec.Topo.TotalCUs())
 
@@ -291,6 +324,14 @@ func Run(cfg Config) Result {
 		if i == 0 {
 			rtCfg.Trace = cfg.Trace
 		}
+		if inj != nil {
+			rtCfg.Hardening = &core.Hardening{
+				MaxRetries:         inj.MaxRetries(),
+				RetryBackoff:       inj.RetryBackoff(),
+				IOCTLFailureStreak: inj.IOCTLFailureStreak(),
+				Stats:              &inj.Stats,
+			}
+		}
 		workerRS := rs
 		if a.FixedPartition > 0 {
 			workerRS = core.NewFixedRightSizer(a.FixedPartition, cfg.Spec.Topo.TotalCUs())
@@ -309,6 +350,50 @@ func Run(cfg Config) Result {
 		workers[i].stats.Model = spec.Model.Name
 		workers[i].stats.Batch = spec.Batch
 		workers[i].openLoop = cfg.openLoop
+	}
+
+	// Arm the chaos substrate now that every queue exists: inject the fault
+	// timeline, start the SLO guard, and hand each worker its watchdog.
+	if inj != nil {
+		devs := make([]*gpu.Device, numGPUs)
+		cps := make([]*hsa.CommandProcessor, numGPUs)
+		for g := range gpus {
+			devs[g] = gpus[g].dev
+			cps[g] = gpus[g].cp
+		}
+		inj.Arm(devs, cps)
+
+		plan := inj.Plan()
+		ch := &chaosHarness{
+			eng:          eng,
+			stats:        &inj.Stats,
+			batchTimeout: plan.WatchdogTimeout,
+			window:       plan.SLOWindow,
+			p99Threshold: float64(plan.SLOP99),
+			cooldown:     plan.SLOCooldown,
+			stopAt:       measureEnd,
+		}
+		for _, w := range workers {
+			ch.runtimes = append(ch.runtimes, w.rt)
+			w.chaos = ch
+		}
+		// Auto-size the hardening deadlines from the slowest worker's
+		// isolated latency: generous enough that contention alone never
+		// trips them, tight enough that a wedged queue is caught within a
+		// handful of batch times.
+		if ch.batchTimeout <= 0 {
+			ch.batchTimeout = 10 * slowest
+		}
+		if ch.p99Threshold <= 0 {
+			ch.p99Threshold = float64(6 * slowest)
+		}
+		if ch.window <= 0 {
+			ch.window = 10 * slowest
+		}
+		if ch.cooldown <= 0 {
+			ch.cooldown = 2 * ch.window
+		}
+		ch.startGuard()
 	}
 
 	if ol := cfg.openLoop; ol != nil {
@@ -343,6 +428,14 @@ func Run(cfg Config) Result {
 		EnergyJ:        energyJ,
 		AvgBusyCUs:     busySum / float64(numGPUs),
 		Oversubscribed: cfg.Policy == policies.ModelRightSize && anyOversub,
+		Interrupted:    eng.Interrupted(),
+	}
+	if inj != nil {
+		for _, w := range workers {
+			w.rt.FlushDegradedTime()
+		}
+		stats := inj.Stats
+		result.Faults = &stats
 	}
 	for _, w := range workers {
 		result.Workers = append(result.Workers, w.stats)
@@ -366,17 +459,28 @@ type worker struct {
 	measureStart, measureEnd sim.Time
 	stats                    WorkerStats
 	openLoop                 *openLoop
+	chaos                    *chaosHarness
 }
 
 func (w *worker) start() { w.runBatch() }
 
 func (w *worker) runBatch() {
 	batchStart := w.eng.Now()
+	var wd *watchdog
+	if w.chaos != nil {
+		wd = w.chaos.armWatchdog(w)
+	}
 	w.eng.After(w.pre, func() {
 		descs := w.jitteredKernels()
 		w.rt.RunSequence(descs, func() {
 			w.eng.After(w.post, func() {
+				if wd != nil {
+					wd.stop()
+				}
 				end := w.eng.Now()
+				if w.chaos != nil {
+					w.chaos.observeBatch(end - batchStart)
+				}
 				if end > w.measureStart && end <= w.measureEnd {
 					w.stats.Batches++
 					w.stats.Requests += w.spec.Batch

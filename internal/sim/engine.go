@@ -89,6 +89,11 @@ type Engine struct {
 	seq       uint64
 	events    eventHeap
 	processed uint64
+
+	// interrupt, when set, is polled periodically by Run/RunUntil; once it
+	// returns true the run stops early and Interrupted latches.
+	interrupt   func() bool
+	interrupted bool
 }
 
 // New returns an Engine with the clock at time zero and no pending events.
@@ -170,9 +175,36 @@ func (e *Engine) Step() bool {
 	return false
 }
 
+// SetInterrupt installs a poll function consulted every few thousand
+// events by Run and RunUntil; when it returns true the run stops early and
+// Interrupted reports true from then on. A nil fn clears it. The hook lets
+// callers driven by external cancellation (an HTTP request context, a
+// deadline) abandon a long simulation without wiring cancellation through
+// every model layer.
+func (e *Engine) SetInterrupt(fn func() bool) {
+	e.interrupt = fn
+	e.interrupted = false
+}
+
+// Interrupted reports whether a Run/RunUntil stopped early because the
+// interrupt poll fired.
+func (e *Engine) Interrupted() bool { return e.interrupted }
+
+// pollInterrupt returns true when the run should stop. The poll function is
+// only consulted every 1024 processed events to keep it off the hot path.
+func (e *Engine) pollInterrupt() bool {
+	if e.interrupted {
+		return true
+	}
+	if e.interrupt != nil && e.processed&1023 == 0 && e.interrupt() {
+		e.interrupted = true
+	}
+	return e.interrupted
+}
+
 // Run fires events until none remain.
 func (e *Engine) Run() {
-	for e.Step() {
+	for !e.pollInterrupt() && e.Step() {
 	}
 }
 
@@ -180,6 +212,9 @@ func (e *Engine) Run() {
 // exactly t. Events scheduled beyond t remain pending.
 func (e *Engine) RunUntil(t Time) {
 	for len(e.events) > 0 {
+		if e.pollInterrupt() {
+			return
+		}
 		// Peek at the earliest non-canceled event.
 		ev := e.events[0]
 		if ev.canceled {
