@@ -7,13 +7,19 @@
 //	krisp-bench -exp fig13a         # one experiment
 //	krisp-bench -exp table3,fig8    # a comma-separated subset
 //	krisp-bench -quick              # shrunken sweeps for a fast smoke run
+//	krisp-bench -parallel 8         # fan grid experiments over 8 workers
 //	krisp-bench -list               # list experiment ids
+//
+// Grid experiments (table4, fig13a/b/c, fig14, fig15, fig16) fan their
+// independent simulation cells across -parallel workers; every cell owns
+// its engine and RNG, so the output is byte-identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,6 +31,7 @@ func main() {
 		exp   = flag.String("exp", "all", "experiment id(s), comma-separated, or 'all'")
 		quick = flag.Bool("quick", false, "shrink sweeps and model sets for a fast run")
 		seed  = flag.Int64("seed", 42, "simulation jitter seed")
+		par   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for grid experiments (1 = serial)")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -41,7 +48,7 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 
-	h := bench.New(bench.Options{Seed: *seed, Quick: *quick})
+	h := bench.New(bench.Options{Seed: *seed, Quick: *quick, Parallel: *par})
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()

@@ -21,12 +21,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"krisp/internal/metrics"
 	"krisp/internal/models"
+	"krisp/internal/parallel"
 	"krisp/internal/policies"
 	"krisp/internal/server"
 	"krisp/internal/sim"
@@ -42,6 +44,13 @@ type Options struct {
 	Seed int64
 	// Quick shrinks sweeps and measurement windows for smoke runs.
 	Quick bool
+	// Parallel is the worker count for grid experiments (Table IV, Fig 13,
+	// Fig 14, Fig 15, Fig 16). Values <= 1 run every cell inline on the
+	// calling goroutine. Each grid cell is a pure function of its
+	// configuration and the seed — one engine and one RNG per cell, no
+	// shared mutable state — so any worker count produces byte-identical
+	// output; Parallel only changes wall-clock time.
+	Parallel int
 }
 
 // DefaultOptions returns the settings used for the published tables.
@@ -144,41 +153,91 @@ func (h *Harness) runServer(m models.Model, batch, workers int, policy policies.
 	})
 }
 
+// gridMap evaluates fn for every job index in [0, n) and returns the
+// results in index order. With opts.Parallel > 1 the jobs fan out over a
+// bounded worker pool; otherwise they run inline. Grid jobs are pure
+// functions of their index (each builds its own engine and RNG from the
+// harness seed), so the fan-out cannot change any result — only
+// wall-clock time.
+func gridMap[T any](h *Harness, n int, fn func(i int) T) []T {
+	if h.opts.Parallel > 1 && n > 1 {
+		out, err := parallel.Map(context.Background(), h.opts.Parallel, n,
+			func(_ context.Context, i int) (T, error) { return fn(i), nil })
+		if err != nil {
+			// fn cannot return an error, so this is a job panic; re-raise
+			// to keep serial and parallel failure modes alike.
+			panic(err)
+		}
+		return out
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = fn(i)
+	}
+	return out
+}
+
 // MainEval measures (and memoizes) the full policy x workers grid at the
-// given batch size.
+// given batch size. The measurement fans out in two phases — isolated
+// baselines, then every (model, policy, workers) cell — across
+// Options.Parallel workers; cells are assembled in the fixed nested order
+// regardless of completion order.
 func (h *Harness) MainEval(batch int) *MainEval {
 	if e, ok := h.evals[batch]; ok {
 		return e
 	}
-	e := &MainEval{Batch: batch, Isolated: make(map[string]server.Result)}
-	for _, m := range h.evalModels() {
-		iso := h.runServer(m, batch, 1, policies.MPSDefault, nil)
-		e.Isolated[m.Name] = iso
-		isoRPS := iso.RPS
-		isoP95 := iso.MaxP95() / 1000
-		isoEnergy := iso.EnergyPerInference
+	ms := h.evalModels()
+
+	// Phase 1: per-model isolated baselines (the normalization anchors).
+	isolated := gridMap(h, len(ms), func(i int) server.Result {
+		return h.runServer(ms[i], batch, 1, policies.MPSDefault, nil)
+	})
+
+	// Phase 2: the full grid, one job per (model, policy, workers) cell in
+	// the same nested order the serial loops used.
+	type cellJob struct {
+		model   models.Model
+		policy  policies.Kind
+		workers int
+	}
+	var jobs []cellJob
+	for _, m := range ms {
 		for _, p := range policies.All() {
 			for _, w := range WorkerCounts {
-				res := h.runServer(m, batch, w, p, nil)
-				cell := Cell{
-					Model:          m.Name,
-					Policy:         p,
-					Workers:        w,
-					Batch:          batch,
-					RPS:            res.RPS,
-					NormRPS:        res.RPS / isoRPS,
-					P95Ms:          res.MaxP95() / 1000,
-					SLOMs:          2 * isoP95,
-					EnergyPerInf:   res.EnergyPerInference,
-					Oversubscribed: res.Oversubscribed,
-				}
-				cell.Violation = cell.P95Ms > cell.SLOMs
-				if isoEnergy > 0 {
-					cell.EnergyReduction = 1 - cell.EnergyPerInf/isoEnergy
-				}
-				e.Cells = append(e.Cells, cell)
+				jobs = append(jobs, cellJob{m, p, w})
 			}
 		}
+	}
+	results := gridMap(h, len(jobs), func(i int) server.Result {
+		j := jobs[i]
+		return h.runServer(j.model, batch, j.workers, j.policy, nil)
+	})
+
+	e := &MainEval{Batch: batch, Isolated: make(map[string]server.Result)}
+	for i, m := range ms {
+		e.Isolated[m.Name] = isolated[i]
+	}
+	for i, j := range jobs {
+		iso := e.Isolated[j.model.Name]
+		isoP95 := iso.MaxP95() / 1000
+		res := results[i]
+		cell := Cell{
+			Model:          j.model.Name,
+			Policy:         j.policy,
+			Workers:        j.workers,
+			Batch:          batch,
+			RPS:            res.RPS,
+			NormRPS:        res.RPS / iso.RPS,
+			P95Ms:          res.MaxP95() / 1000,
+			SLOMs:          2 * isoP95,
+			EnergyPerInf:   res.EnergyPerInference,
+			Oversubscribed: res.Oversubscribed,
+		}
+		cell.Violation = cell.P95Ms > cell.SLOMs
+		if iso.EnergyPerInference > 0 {
+			cell.EnergyReduction = 1 - cell.EnergyPerInf/iso.EnergyPerInference
+		}
+		e.Cells = append(e.Cells, cell)
 	}
 	h.evals[batch] = e
 	return e

@@ -396,36 +396,50 @@ func (h *Harness) Fig15(w io.Writer) {
 	ms := h.evalModels()
 	e := h.MainEval(models.CalibrationBatch)
 
-	var t table
-	t.addHeader("policy", "min", "q1", "median", "q3", "max", "pairs")
-	for _, p := range []policies.Kind{policies.MPSDefault, policies.ModelRightSize, policies.KRISPO, policies.KRISPI} {
-		var vals []float64
+	// One job per (policy, model pair), flattened so the whole study fans
+	// out at once; vals are reassembled per policy in pair order below.
+	kinds := []policies.Kind{policies.MPSDefault, policies.ModelRightSize, policies.KRISPO, policies.KRISPI}
+	type pairJob struct {
+		policy policies.Kind
+		a, b   models.Model
+	}
+	var jobs []pairJob
+	for _, p := range kinds {
 		for i := 0; i < len(ms); i++ {
 			for j := i + 1; j < len(ms); j++ {
-				a, b := ms[i], ms[j]
-				res := server.Run(server.Config{
-					Policy: p,
-					Workers: []server.WorkerSpec{
-						{Model: a, Batch: models.CalibrationBatch},
-						{Model: b, Batch: models.CalibrationBatch},
-					},
-					Seed: h.opts.Seed,
-				})
-				// Normalize each worker's throughput to its model's
-				// isolated rate, then sum — 2.0 means both ran at full
-				// isolated speed.
-				isoA := e.Isolated[a.Name].RPS
-				isoB := e.Isolated[b.Name].RPS
-				wa := float64(res.Workers[0].Requests) / float64(res.WindowUs) * 1e6
-				wb := float64(res.Workers[1].Requests) / float64(res.WindowUs) * 1e6
-				vals = append(vals, wa/isoA+wb/isoB)
+				jobs = append(jobs, pairJob{p, ms[i], ms[j]})
 			}
 		}
-		box := metrics.BoxOf(vals)
+	}
+	vals := gridMap(h, len(jobs), func(i int) float64 {
+		job := jobs[i]
+		res := server.Run(server.Config{
+			Policy: job.policy,
+			Workers: []server.WorkerSpec{
+				{Model: job.a, Batch: models.CalibrationBatch},
+				{Model: job.b, Batch: models.CalibrationBatch},
+			},
+			Seed: h.opts.Seed,
+		})
+		// Normalize each worker's throughput to its model's isolated
+		// rate, then sum — 2.0 means both ran at full isolated speed.
+		isoA := e.Isolated[job.a.Name].RPS
+		isoB := e.Isolated[job.b.Name].RPS
+		wa := float64(res.Workers[0].Requests) / float64(res.WindowUs) * 1e6
+		wb := float64(res.Workers[1].Requests) / float64(res.WindowUs) * 1e6
+		return wa/isoA + wb/isoB
+	})
+
+	var t table
+	t.addHeader("policy", "min", "q1", "median", "q3", "max", "pairs")
+	perPolicy := len(jobs) / len(kinds)
+	for k, p := range kinds {
+		pv := vals[k*perPolicy : (k+1)*perPolicy]
+		box := metrics.BoxOf(append([]float64(nil), pv...))
 		t.addRow(p.Label(),
 			fmt.Sprintf("%.2f", box.Min), fmt.Sprintf("%.2f", box.Q1),
 			fmt.Sprintf("%.2f", box.Median), fmt.Sprintf("%.2f", box.Q3),
-			fmt.Sprintf("%.2f", box.Max), fmt.Sprint(len(vals)))
+			fmt.Sprintf("%.2f", box.Max), fmt.Sprint(len(pv)))
 	}
 	t.render(w)
 }
@@ -444,23 +458,42 @@ func (h *Harness) Fig16(w io.Writer) {
 	if h.opts.Quick {
 		limits = []int{0, 16, 31, 46, 60}
 	}
-	var t table
-	t.addHeader("overlap limit", "2 workers", "4 workers")
+	// The isolated baselines come from the (memoized) main evaluation;
+	// compute it up front so the sweep below is purely independent jobs.
+	iso := h.MainEval(models.CalibrationBatch).Isolated
+
+	// One job per (limit, model, workers) point, flattened across the
+	// whole sweep; rows are reassembled per limit in the original order.
+	type sweepJob struct {
+		limit   int
+		model   models.Model
+		workers int
+	}
+	var jobs []sweepJob
 	for _, lim := range limits {
-		lim := lim
-		var g2, g4 []float64
 		for _, name := range names {
 			m, _ := models.ByName(name)
-			iso := h.MainEval(models.CalibrationBatch).Isolated[name]
 			for _, wk := range []int{2, 4} {
-				res := h.runServer(m, models.CalibrationBatch, wk, policies.KRISPI, &lim)
-				norm := res.RPS / iso.RPS
-				if wk == 2 {
-					g2 = append(g2, norm)
-				} else {
-					g4 = append(g4, norm)
-				}
+				jobs = append(jobs, sweepJob{lim, m, wk})
 			}
+		}
+	}
+	norms := gridMap(h, len(jobs), func(i int) float64 {
+		j := jobs[i]
+		lim := j.limit
+		res := h.runServer(j.model, models.CalibrationBatch, j.workers, policies.KRISPI, &lim)
+		return res.RPS / iso[j.model.Name].RPS
+	})
+
+	var t table
+	t.addHeader("overlap limit", "2 workers", "4 workers")
+	i := 0
+	for _, lim := range limits {
+		var g2, g4 []float64
+		for range names {
+			g2 = append(g2, norms[i])
+			g4 = append(g4, norms[i+1])
+			i += 2
 		}
 		t.addRow(fmt.Sprint(lim),
 			fmt.Sprintf("%.2f", metrics.Geomean(g2)),

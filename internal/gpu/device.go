@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"krisp/internal/sim"
 )
@@ -128,6 +129,7 @@ type Device struct {
 	eng      *sim.Engine
 	running  map[*Exec]struct{}
 	counters []int // per-CU count of kernels whose mask includes the CU (Resource Monitor)
+	busy     int   // CUs with at least one kernel assigned, maintained incrementally
 	// healthy tracks the CUs still alive; allHealthy short-circuits the
 	// per-launch health intersection while no CU has been killed, so the
 	// fault-free path stays bit-identical to a device without the health
@@ -213,13 +215,7 @@ func (d *Device) KillCU(cu int) bool {
 		}
 		// Release the old footprint, shrink the mask around the dead CU,
 		// and charge the new footprint.
-		for _, c := range x.mask.CUs() {
-			d.counters[c]--
-			d.pressure[c] -= x.pressure
-			if d.pressure[c] < 0 {
-				d.pressure[c] = 0
-			}
-		}
+		d.releaseExec(x.mask, x.pressure)
 		d.memPressure -= x.memIntensity
 		nm := x.mask.And(d.healthy)
 		if nm.IsEmpty() {
@@ -227,10 +223,7 @@ func (d *Device) KillCU(cu int) bool {
 		}
 		x.mask = nm
 		x.pressure, x.memIntensity = d.pressureOf(x.work, nm)
-		for _, c := range nm.CUs() {
-			d.counters[c]++
-			d.pressure[c] += x.pressure
-		}
+		d.chargeExec(nm, x.pressure)
 		d.memPressure += x.memIntensity
 	}
 	d.retime()
@@ -276,14 +269,50 @@ func (d *Device) Counters() []int {
 func (d *Device) Running() int { return len(d.running) }
 
 // BusyCUs returns the number of CUs with at least one kernel assigned.
-func (d *Device) BusyCUs() int {
-	n := 0
-	for _, c := range d.counters {
-		if c > 0 {
-			n++
-		}
+func (d *Device) BusyCUs() int { return d.busy }
+
+// chargeExec adds one execution's footprint — kernel counter and compute
+// pressure — to every CU enabled in m, iterating set bits directly so the
+// per-launch bookkeeping allocates nothing.
+func (d *Device) chargeExec(m CUMask, pressure float64) {
+	for w := m.lo; w != 0; w &= w - 1 {
+		d.chargeCU(bits.TrailingZeros64(w), pressure)
 	}
-	return n
+	for w := m.hi; w != 0; w &= w - 1 {
+		d.chargeCU(64+bits.TrailingZeros64(w), pressure)
+	}
+}
+
+func (d *Device) chargeCU(cu int, pressure float64) {
+	if d.counters[cu] == 0 {
+		d.busy++
+	}
+	d.counters[cu]++
+	d.pressure[cu] += pressure
+}
+
+// releaseExec undoes chargeExec for a finished or re-masked execution.
+func (d *Device) releaseExec(m CUMask, pressure float64) {
+	for w := m.lo; w != 0; w &= w - 1 {
+		d.releaseCU(bits.TrailingZeros64(w), pressure)
+	}
+	for w := m.hi; w != 0; w &= w - 1 {
+		d.releaseCU(64+bits.TrailingZeros64(w), pressure)
+	}
+}
+
+func (d *Device) releaseCU(cu int, pressure float64) {
+	d.counters[cu]--
+	if d.counters[cu] < 0 {
+		panic("gpu: per-CU kernel counter went negative")
+	}
+	if d.counters[cu] == 0 {
+		d.busy--
+	}
+	d.pressure[cu] -= pressure
+	if d.pressure[cu] < 0 {
+		d.pressure[cu] = 0
+	}
 }
 
 // AvgBusyCUs returns the time-weighted average number of busy CUs since the
@@ -341,10 +370,7 @@ func (d *Device) Launch(work KernelWork, mask CUMask, onDone func()) *Exec {
 		id:         d.nextID,
 	}
 	x.pressure, x.memIntensity = d.pressureOf(work, mask)
-	for _, cu := range mask.CUs() {
-		d.counters[cu]++
-		d.pressure[cu] += x.pressure
-	}
+	d.chargeExec(mask, x.pressure)
 	d.memPressure += x.memIntensity
 	d.running[x] = struct{}{}
 	d.retime()
@@ -357,16 +383,7 @@ func (d *Device) Launch(work KernelWork, mask CUMask, onDone func()) *Exec {
 func (d *Device) complete(x *Exec) {
 	d.accumulateBusy()
 	delete(d.running, x)
-	for _, cu := range x.mask.CUs() {
-		d.counters[cu]--
-		if d.counters[cu] < 0 {
-			panic("gpu: per-CU kernel counter went negative")
-		}
-		d.pressure[cu] -= x.pressure
-		if d.pressure[cu] < 0 {
-			d.pressure[cu] = 0
-		}
-	}
+	d.releaseExec(x.mask, x.pressure)
 	d.memPressure -= x.memIntensity
 	if d.memPressure < 0 {
 		d.memPressure = 0
@@ -474,24 +491,37 @@ func (d *Device) Duration(work KernelWork, mask CUMask) sim.Duration {
 //     (Fig. 6).
 func (d *Device) duration(work KernelWork, mask CUMask, ownPressure, ownMem float64) sim.Duration {
 	topo := d.Spec.Topo
-	used := mask.UsedSEs(topo)
-	if len(used) == 0 {
+	// Two passes over the (at most 8) SEs instead of materializing a
+	// UsedSEs slice: duration runs for every running kernel on every
+	// launch/complete, so this path must not allocate.
+	nSE := 0
+	for se := 0; se < topo.NumSEs; se++ {
+		if mask.seBits(topo, se) != 0 {
+			nSE++
+		}
+	}
+	if nSE == 0 {
 		panic("gpu: Duration with empty mask")
 	}
-	nSE := len(used)
 	baseWG := work.Workgroups / nSE
 	extraWG := work.Workgroups % nSE
 
 	var worst float64 // waveCost x stretch, worst SE
-	for i, se := range used {
+	i := 0
+	for se := 0; se < topo.NumSEs; se++ {
+		sb := mask.seBits(topo, se)
+		if sb == 0 {
+			continue
+		}
 		wgSE := baseWG
 		if i < extraWG {
 			wgSE++
 		}
+		i++
 		if wgSE == 0 {
 			continue
 		}
-		a := mask.CountInSE(topo, se)
+		a := bits.OnesCount64(sb)
 		waves := float64(wgSE) / float64(a*d.Spec.SlotsPerCU)
 		// Half-wave quantization keeps the single-wave knee sharp (the
 		// minCU phenomenon) while letting deep restriction degrade in
@@ -509,11 +539,9 @@ func (d *Device) duration(work KernelWork, mask CUMask, ownPressure, ownMem floa
 		// numDegraded so the fault-free path performs no extra float work.
 		if d.numDegraded > 0 {
 			sumDeg := 0.0
-			for c := 0; c < topo.CUsPerSE; c++ {
-				cu := topo.CUIndex(se, c)
-				if mask.Has(cu) {
-					sumDeg += d.degrade[cu]
-				}
+			base := se * topo.CUsPerSE
+			for w := sb; w != 0; w &= w - 1 {
+				sumDeg += d.degrade[base+bits.TrailingZeros64(w)]
 			}
 			if sumDeg > 0 {
 				waveCost *= 1 + sumDeg/float64(a)
@@ -525,11 +553,9 @@ func (d *Device) duration(work KernelWork, mask CUMask, ownPressure, ownMem floa
 		// fraction costs fully plus the interference tax.
 		if !math.IsInf(ownPressure, 1) {
 			sumP := 0.0
-			for c := 0; c < topo.CUsPerSE; c++ {
-				cu := topo.CUIndex(se, c)
-				if mask.Has(cu) {
-					sumP += d.pressure[cu]
-				}
+			base := se * topo.CUsPerSE
+			for w := sb; w != 0; w &= w - 1 {
+				sumP += d.pressure[base+bits.TrailingZeros64(w)]
 			}
 			avgP := sumP / float64(a)
 			other := avgP - ownPressure

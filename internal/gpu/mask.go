@@ -81,15 +81,31 @@ func (m CUMask) CUs() []int {
 	return out
 }
 
-// CountInSE returns the number of enabled CUs within shader engine se.
-func (m CUMask) CountInSE(t Topology, se int) int {
-	n := 0
-	for c := 0; c < t.CUsPerSE; c++ {
-		if m.Has(t.CUIndex(se, c)) {
-			n++
+// seBits extracts shader engine se's slice of the mask as a uint64 with
+// bit c set for enabled (se, c). CUs are laid out SE-major (CUIndex), so
+// the slice is the CUsPerSE-wide bit range starting at se*CUsPerSE,
+// possibly straddling the lo/hi words. Callers iterate or popcount it,
+// keeping the per-SE hot paths free of per-CU Has probes.
+func (m CUMask) seBits(t Topology, se int) uint64 {
+	a := uint(se * t.CUsPerSE)
+	var v uint64
+	if a >= 64 {
+		v = m.hi >> (a - 64)
+	} else {
+		v = m.lo >> a
+		if a > 0 {
+			v |= m.hi << (64 - a)
 		}
 	}
-	return n
+	if t.CUsPerSE < 64 {
+		v &= 1<<uint(t.CUsPerSE) - 1
+	}
+	return v
+}
+
+// CountInSE returns the number of enabled CUs within shader engine se.
+func (m CUMask) CountInSE(t Topology, se int) int {
+	return bits.OnesCount64(m.seBits(t, se))
 }
 
 // UsedSEs returns the shader engines with at least one enabled CU,
@@ -97,7 +113,7 @@ func (m CUMask) CountInSE(t Topology, se int) int {
 func (m CUMask) UsedSEs(t Topology) []int {
 	var out []int
 	for se := 0; se < t.NumSEs; se++ {
-		if m.CountInSE(t, se) > 0 {
+		if m.seBits(t, se) != 0 {
 			out = append(out, se)
 		}
 	}

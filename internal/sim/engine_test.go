@@ -90,10 +90,12 @@ func TestEngineRescheduleFiredEvent(t *testing.T) {
 	if count != 1 {
 		t.Fatalf("count = %d after first run", count)
 	}
-	// Rescheduling a fired event creates a fresh one with the same fn.
+	// Rescheduling a fired event schedules a fresh event with the same fn
+	// (the engine may hand back the recycled record, so only behaviour —
+	// not pointer identity — is specified).
 	ev2 := e.Reschedule(ev, e.Now()+5)
-	if ev2 == ev {
-		t.Error("Reschedule of fired event returned the same event")
+	if ev2.At() != e.Now()+5 {
+		t.Errorf("fresh event at %v, want %v", ev2.At(), e.Now()+5)
 	}
 	e.Run()
 	if count != 2 {
@@ -214,5 +216,217 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 			e.After(Duration(j%97), func() {})
 		}
 		e.Run()
+	}
+}
+
+func TestRescheduleEarlierKeepsOriginalFIFORank(t *testing.T) {
+	// A is scheduled first (seq 1) at t=10; B and C are scheduled later at
+	// t=5. Moving A earlier to t=5 must keep its original scheduling rank:
+	// A fires before B and C, not after them.
+	e := New()
+	var order []string
+	a := e.At(10, func() { order = append(order, "A") })
+	e.At(5, func() { order = append(order, "B") })
+	e.At(5, func() { order = append(order, "C") })
+	e.Reschedule(a, 5)
+	e.Run()
+	if len(order) != 3 || order[0] != "A" || order[1] != "B" || order[2] != "C" {
+		t.Errorf("fire order = %v, want [A B C]", order)
+	}
+}
+
+func TestRescheduleLaterKeepsOriginalFIFORank(t *testing.T) {
+	// Symmetric contract: moving A later to tie with a younger event still
+	// ranks A by its original scheduling order.
+	e := New()
+	var order []string
+	a := e.At(5, func() { order = append(order, "A") })
+	e.At(10, func() { order = append(order, "B") })
+	e.Reschedule(a, 10)
+	e.Run()
+	if len(order) != 2 || order[0] != "A" || order[1] != "B" {
+		t.Errorf("fire order = %v, want [A B]", order)
+	}
+}
+
+func TestRescheduleRepeatedlyFiresOnce(t *testing.T) {
+	e := New()
+	count := 0
+	ev := e.After(10, func() { count++ })
+	for i := 0; i < 50; i++ {
+		ev = e.Reschedule(ev, Duration(20+i))
+	}
+	e.Run()
+	if count != 1 {
+		t.Errorf("event fired %d times after 50 reschedules, want 1", count)
+	}
+	if e.Now() != 69 {
+		t.Errorf("fired at %v, want 69", e.Now())
+	}
+}
+
+func TestInterruptPollsOnFirstEventOfEachRun(t *testing.T) {
+	// Fire one event first so the processed count sits mid-stride; an
+	// immediately-true interrupt must still stop the next run before it
+	// fires anything (and certainly within 1024 events).
+	e := New()
+	e.After(1, func() {})
+	e.Run()
+	if e.Processed() != 1 {
+		t.Fatalf("warmup processed = %d", e.Processed())
+	}
+	e.SetInterrupt(func() bool { return true })
+	for i := 0; i < 2000; i++ {
+		e.After(Duration(i+1), func() {})
+	}
+	before := e.Processed()
+	e.Run()
+	if fired := e.Processed() - before; fired >= 1024 {
+		t.Errorf("run fired %d events past an always-true interrupt, want < 1024", fired)
+	} else if fired != 0 {
+		t.Errorf("run fired %d events past an always-true interrupt, want 0", fired)
+	}
+	if !e.Interrupted() {
+		t.Error("Interrupted() = false")
+	}
+	// RunUntil honours the same contract.
+	e.SetInterrupt(func() bool { return true })
+	before = e.Processed()
+	e.RunUntil(5000)
+	if fired := e.Processed() - before; fired != 0 {
+		t.Errorf("RunUntil fired %d events past an always-true interrupt", fired)
+	}
+}
+
+func TestPendingExcludesLazilyCanceled(t *testing.T) {
+	e := New()
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, e.After(Duration(i+1), func() {}))
+	}
+	for _, ev := range evs[:4] {
+		e.Cancel(ev)
+	}
+	if e.Pending() != 6 {
+		t.Errorf("Pending() = %d after 4 lazy cancels, want 6", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after run", e.Pending())
+	}
+	if e.Processed() != 6 {
+		t.Errorf("Processed() = %d, want 6", e.Processed())
+	}
+}
+
+func TestCanceledReportedAfterCollection(t *testing.T) {
+	// Canceled() stays exact after the engine collects the record, until
+	// the record is reused by a later At/After.
+	e := New()
+	ev := e.After(5, func() {})
+	e.Cancel(ev)
+	e.After(10, func() {})
+	e.Run() // collects the canceled record
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after collection")
+	}
+}
+
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the heap and free list to their high-water marks.
+	for i := 0; i < 512; i++ {
+		e.After(Duration(i%97+1), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 256; i++ {
+			ev := e.After(Duration(i%97+1), fn)
+			if i%3 == 0 {
+				e.Reschedule(ev, e.Now()+Duration(i%31+1))
+			}
+			if i%5 == 0 {
+				e.Cancel(ev)
+			}
+		}
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state At/Reschedule/Cancel/Run allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestEngineMatchesReferenceModel drives random schedule/cancel/reschedule
+// operation sequences through the engine and checks the fire order against
+// a naive reference: stable sort by (time, original scheduling order).
+func TestEngineMatchesReferenceModel(t *testing.T) {
+	type ref struct {
+		at       Time
+		rank     int
+		id       int
+		canceled bool
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var fired []int
+		var refs []*ref
+		var handles []*Event
+		nextID := 0
+		for op := 0; op < 120; op++ {
+			switch k := rng.Intn(4); {
+			case k <= 1 || len(refs) == 0: // schedule
+				id := nextID
+				nextID++
+				at := Duration(rng.Intn(200))
+				refs = append(refs, &ref{at: at, rank: op, id: id})
+				handles = append(handles, e.At(at, func() { fired = append(fired, id) }))
+			case k == 2: // cancel a random event
+				i := rng.Intn(len(refs))
+				if refs[i].canceled {
+					continue
+				}
+				refs[i].canceled = true
+				e.Cancel(handles[i])
+			default: // reschedule a random live event
+				i := rng.Intn(len(refs))
+				if refs[i].canceled {
+					continue
+				}
+				at := Duration(rng.Intn(200))
+				refs[i].at = at
+				handles[i] = e.Reschedule(handles[i], at)
+			}
+		}
+		e.Run()
+		var want []int
+		live := make([]*ref, 0, len(refs))
+		for _, r := range refs {
+			if !r.canceled {
+				live = append(live, r)
+			}
+		}
+		sort.SliceStable(live, func(i, j int) bool {
+			if live[i].at != live[j].at {
+				return live[i].at < live[j].at
+			}
+			return live[i].rank < live[j].rank
+		})
+		for _, r := range live {
+			want = append(want, r.id)
+		}
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
 	}
 }
