@@ -9,6 +9,8 @@
 //	krisp-bench -quick              # shrunken sweeps for a fast smoke run
 //	krisp-bench -parallel 8         # fan grid experiments over 8 workers
 //	krisp-bench -list               # list experiment ids
+//	krisp-bench -cpuprofile p.out   # write a pprof CPU profile
+//	krisp-bench -memprofile m.out   # write a pprof heap profile at exit
 //
 // Grid experiments (table4, fig13a/b/c, fig14, fig15, fig16) fan their
 // independent simulation cells across -parallel workers; every cell owns
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,13 +31,44 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id(s), comma-separated, or 'all'")
-		quick = flag.Bool("quick", false, "shrink sweeps and model sets for a fast run")
-		seed  = flag.Int64("seed", 42, "simulation jitter seed")
-		par   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for grid experiments (1 = serial)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id(s), comma-separated, or 'all'")
+		quick   = flag.Bool("quick", false, "shrink sweeps and model sets for a fast run")
+		seed    = flag.Int64("seed", 42, "simulation jitter seed")
+		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for grid experiments (1 = serial)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range bench.Experiments() {

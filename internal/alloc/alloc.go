@@ -13,18 +13,23 @@
 //   - Conserved: use the minimum number of SEs that satisfies the request
 //     and spread evenly across them. Avoids both pitfalls; KRISP adopts it.
 //
-// GenerateMask is a faithful implementation of the paper's Algorithm 1,
-// including the overlap limit: CUs already running kernels count as
-// "overlapped", and once the limit is exceeded further busy CUs are skipped
-// (consuming allocation budget without setting the bit, exactly as the
-// pseudocode does), so a constrained allocation can return fewer CUs than
-// requested — this is the KRISP-I behaviour of granting only what is
+// Allocator.Generate is a faithful implementation of the paper's
+// Algorithm 1, including the overlap limit: CUs already running kernels
+// count as "overlapped", and once the limit is exceeded further busy CUs
+// are skipped (consuming allocation budget without setting the bit, exactly
+// as the pseudocode does), so a constrained allocation can return fewer CUs
+// than requested — this is the KRISP-I behaviour of granting only what is
 // isolatable.
+//
+// Algorithm 1 runs on every kernel launch, so the allocator is built for
+// the dispatch fast path: an Allocator owns fixed topology-sized scratch
+// buffers and sorts them with insertion sort, allocating nothing per call,
+// and a MaskCache in front of it memoizes the dominant request shapes
+// (idle-device allocations and repeated occupancy states keyed by the
+// device's occupancy generation counter).
 package alloc
 
 import (
-	"sort"
-
 	"krisp/internal/gpu"
 )
 
@@ -77,15 +82,66 @@ type Request struct {
 	MinGrant int
 }
 
-// GenerateMask runs Algorithm 1 and returns the kernel resource mask.
+// Allocator runs Algorithm 1 over fixed scratch buffers so the per-launch
+// mask generation allocates nothing. It is not safe for concurrent use;
+// each command processor (simulation goroutine) owns its own.
+type Allocator struct {
+	topo gpu.Topology
+
+	// seLoads[se] is the summed kernel counter of SE se; seOrder holds SE
+	// ids sorted least-loaded first (insertion sort keeps ties in SE-id
+	// order, matching the stable sort of the original implementation).
+	seLoads []int
+	seOrder []int
+	// cuOrder holds the current SE's CU indices sorted least-loaded first.
+	cuOrder []int
+	// quotas is the per-selected-SE CU quota buffer.
+	quotas []int
+	// zeros stands in for nil counters (idle device); never written.
+	zeros []int
+	// ext is the biased counter copy used by the progress-floor extension.
+	ext []int
+}
+
+// NewAllocator builds an allocator for one device topology.
+func NewAllocator(topo gpu.Topology) *Allocator {
+	total := topo.TotalCUs()
+	return &Allocator{
+		topo:    topo,
+		seLoads: make([]int, topo.NumSEs),
+		seOrder: make([]int, topo.NumSEs),
+		cuOrder: make([]int, topo.CUsPerSE),
+		quotas:  make([]int, topo.NumSEs),
+		zeros:   make([]int, total),
+		ext:     make([]int, total),
+	}
+}
+
+// Topology returns the device topology the allocator was built for.
+func (a *Allocator) Topology() gpu.Topology { return a.topo }
+
+// Generate runs Algorithm 1 and returns the kernel resource mask.
 // counters must have one entry per physical CU (the Resource Monitor
-// state); a nil counters slice means an idle device.
+// state); a nil counters slice means an idle device. counters is never
+// mutated.
 //
 // The mask is never empty: if the overlap limit filtered out every
 // candidate (all CUs busy under KRISP-I), the single least-loaded CU is
 // granted so the kernel can make progress. The paper's evaluation implies
 // the same floor ("we allocate only what is available").
-func GenerateMask(topo gpu.Topology, counters []int, req Request) gpu.CUMask {
+func (a *Allocator) Generate(counters []int, req Request) gpu.CUMask {
+	if counters == nil {
+		counters = a.zeros
+	}
+	return a.generate(counters, req, true)
+}
+
+// generate is one Algorithm 1 pass. extend gates the progress-floor
+// extension: the extension pass itself runs with NoOverlapLimit and no
+// MinGrant, which can never come up short again, so recursion is bounded
+// at depth one and replaced by a plain second pass over the same scratch.
+func (a *Allocator) generate(counters []int, req Request, extend bool) gpu.CUMask {
+	topo := a.topo
 	total := topo.TotalCUs()
 	numCUs := req.NumCUs
 	if numCUs < 1 {
@@ -93,9 +149,6 @@ func GenerateMask(topo gpu.Topology, counters []int, req Request) gpu.CUMask {
 	}
 	if numCUs > total {
 		numCUs = total
-	}
-	if counters == nil {
-		counters = make([]int, total)
 	}
 
 	// Isolation-seeking requests (a finite overlap limit) exceed the fair
@@ -110,32 +163,32 @@ func GenerateMask(topo gpu.Topology, counters []int, req Request) gpu.CUMask {
 		numCUs = req.MinGrant
 	}
 
-	quotas := seQuotas(topo, numCUs, req.Policy)
+	quotas := a.seQuotas(numCUs, req.Policy)
 
 	// Select SEs ordered by total assigned kernels, least-loaded first
 	// (Algorithm 1 lines 4-8). Ties break on SE id for determinism.
-	type seLoad struct{ se, load int }
-	loads := make([]seLoad, topo.NumSEs)
+	order := a.seOrder[:topo.NumSEs]
 	for se := 0; se < topo.NumSEs; se++ {
 		sum := 0
 		for c := 0; c < topo.CUsPerSE; c++ {
 			sum += counters[topo.CUIndex(se, c)]
 		}
-		loads[se] = seLoad{se, sum}
+		a.seLoads[se] = sum
+		order[se] = se
 	}
-	sort.SliceStable(loads, func(i, j int) bool { return loads[i].load < loads[j].load })
+	insertionSortByKey(order, a.seLoads)
 
 	var mask gpu.CUMask
 	allocated := 0
 	overlapped := 0
 	for i := 0; i < len(quotas) && allocated < numCUs; i++ {
-		se := loads[i].se
+		se := order[i]
 		// Within the SE, order CUs by assigned-kernel count (line 12).
-		cus := make([]int, topo.CUsPerSE)
+		cus := a.cuOrder[:topo.CUsPerSE]
 		for c := 0; c < topo.CUsPerSE; c++ {
 			cus[c] = topo.CUIndex(se, c)
 		}
-		sort.SliceStable(cus, func(a, b int) bool { return counters[cus[a]] < counters[cus[b]] })
+		insertionSortByKey(cus, counters)
 
 		take := quotas[i]
 		if rem := numCUs - allocated; take > rem {
@@ -176,36 +229,58 @@ func GenerateMask(topo gpu.Topology, counters []int, req Request) gpu.CUMask {
 	// CUs, so the overlapped extension only fires when the isolated grant
 	// fell below half the floor — the genuine starvation cases.
 	floor = (floor + 1) / 2
-	if short := floor - mask.Count(); short > 0 {
-		tmp := make([]int, len(counters))
-		copy(tmp, counters)
-		for _, cu := range mask.CUs() {
-			tmp[cu] += busyMark
+	if short := floor - mask.Count(); extend && short > 0 {
+		ext := a.ext[:len(counters)]
+		copy(ext, counters)
+		for cu := 0; cu < total; cu++ {
+			if mask.Has(cu) {
+				ext[cu] += busyMark
+			}
 		}
-		extra := GenerateMask(topo, tmp, Request{
+		extra := a.generate(ext, Request{
 			NumCUs:       short,
 			OverlapLimit: NoOverlapLimit,
 			Policy:       req.Policy,
-		})
+		}, false)
 		mask = mask.Or(extra)
 	}
 	return mask
+}
+
+// insertionSortByKey sorts ids ascending by key[id]. Insertion sort only
+// moves an element past strictly-greater predecessors, so equal keys keep
+// their original order — the stability GenerateMask's determinism relies
+// on — and the N<=16 inputs here beat sort.SliceStable without allocating
+// its closure.
+func insertionSortByKey(ids []int, key []int) {
+	for i := 1; i < len(ids); i++ {
+		id := ids[i]
+		k := key[id]
+		j := i
+		for j > 0 && key[ids[j-1]] > k {
+			ids[j] = ids[j-1]
+			j--
+		}
+		ids[j] = id
+	}
 }
 
 // busyMark biases already-granted CUs so the floor extension prefers other
 // CUs; it is large enough to outrank any realistic kernel count.
 const busyMark = 1 << 20
 
-// seQuotas returns the per-selected-SE CU quotas for a request of numCUs
+// seQuotas fills the per-selected-SE CU quotas for a request of numCUs
 // under the given policy (Algorithm 1 lines 2-3 for Conserved; the
-// Distributed/Packed variants of Fig. 7).
+// Distributed/Packed variants of Fig. 7). The returned slice aliases the
+// allocator's quota scratch buffer.
 //
 // Algorithm 1's pseudocode uses cu_per_se = ceil(num_cus/num_se) for every
 // SE with the last SE absorbing the shortfall, which can leave a 2-CU
 // imbalance (e.g. 40 CUs -> 14/14/12). The paper's prose says "evenly
 // distribute across those SEs" and Fig. 8's smooth Conserved curve matches
 // the even split, so we use floor+remainder quotas (40 -> 14/13/13).
-func seQuotas(topo gpu.Topology, numCUs int, p Policy) []int {
+func (a *Allocator) seQuotas(numCUs int, p Policy) []int {
+	topo := a.topo
 	var numSE int
 	switch p {
 	case Distributed:
@@ -214,7 +289,7 @@ func seQuotas(topo gpu.Topology, numCUs int, p Policy) []int {
 			numSE = numCUs
 		}
 	case Packed:
-		quotas := make([]int, ceilDiv(numCUs, topo.CUsPerSE))
+		quotas := a.quotas[:ceilDiv(numCUs, topo.CUsPerSE)]
 		left := numCUs
 		for i := range quotas {
 			take := topo.CUsPerSE
@@ -228,7 +303,7 @@ func seQuotas(topo gpu.Topology, numCUs int, p Policy) []int {
 	default: // Conserved
 		numSE = ceilDiv(numCUs, topo.CUsPerSE)
 	}
-	quotas := make([]int, numSE)
+	quotas := a.quotas[:numSE]
 	base, extra := numCUs/numSE, numCUs%numSE
 	for i := range quotas {
 		quotas[i] = base
@@ -237,6 +312,14 @@ func seQuotas(topo gpu.Topology, numCUs int, p Policy) []int {
 		}
 	}
 	return quotas
+}
+
+// GenerateMask runs Algorithm 1 once with a throwaway Allocator. It is the
+// compatibility wrapper for cold paths (policy carving, figures, tests);
+// the dispatch fast path holds a reusable Allocator (or a MaskCache)
+// instead.
+func GenerateMask(topo gpu.Topology, counters []int, req Request) gpu.CUMask {
+	return NewAllocator(topo).Generate(counters, req)
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }

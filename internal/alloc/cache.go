@@ -1,0 +1,86 @@
+package alloc
+
+import (
+	"krisp/internal/gpu"
+)
+
+// Occupancy is the live Resource Monitor view a MaskCache reads:
+// *gpu.Device implements it. CountersView must return the device's live
+// per-CU kernel counters without copying, and OccupancyGen a counter that
+// changes whenever those counters change.
+type Occupancy interface {
+	CountersView() []int
+	OccupancyGen() uint64
+	BusyCUs() int
+}
+
+// idleKey identifies an idle-device allocation. When every counter is
+// zero, the mask depends only on these three request fields: the MinGrant
+// cap cannot fire (the full clamped request fits in free CUs) and the
+// progress floor cannot come up short (no CU is skipped), so MinGrant is
+// deliberately absent from the key.
+type idleKey struct {
+	numCUs  int
+	policy  Policy
+	overlap int
+}
+
+// MaskCache memoizes Algorithm 1 for the two shapes that dominate the
+// dispatch stream: idle-device requests (every kernel of a lone worker
+// lands on an idle device between batches) and back-to-back requests
+// against an unchanged occupancy state, invalidated by the device's
+// occupancy generation counter. Cached masks are the allocator's own
+// output, so cached and uncached runs are byte-identical.
+type MaskCache struct {
+	alloc *Allocator
+	idle  map[idleKey]gpu.CUMask
+
+	// Single-entry busy-state cache: valid while the device occupancy
+	// generation still matches and the request is identical.
+	busyGen   uint64
+	busyReq   Request
+	busyMask  gpu.CUMask
+	busyValid bool
+
+	// Hits and Misses count cache outcomes (for tests and benchmarks).
+	Hits, Misses uint64
+}
+
+// NewMaskCache builds a cache (and its backing Allocator) for one device
+// topology. Like the Allocator, it is confined to the simulation goroutine.
+func NewMaskCache(topo gpu.Topology) *MaskCache {
+	return &MaskCache{
+		alloc: NewAllocator(topo),
+		idle:  make(map[idleKey]gpu.CUMask),
+	}
+}
+
+// Allocator returns the cache's backing allocator (for uncached calls that
+// still want the scratch buffers).
+func (c *MaskCache) Allocator() *Allocator { return c.alloc }
+
+// Generate returns the Algorithm 1 mask for req against occ's current
+// counters, serving it from cache when the occupancy state provably
+// matches a previous call.
+func (c *MaskCache) Generate(occ Occupancy, req Request) gpu.CUMask {
+	if occ.BusyCUs() == 0 {
+		k := idleKey{numCUs: req.NumCUs, policy: req.Policy, overlap: req.OverlapLimit}
+		if m, ok := c.idle[k]; ok {
+			c.Hits++
+			return m
+		}
+		m := c.alloc.Generate(nil, req)
+		c.idle[k] = m
+		c.Misses++
+		return m
+	}
+	gen := occ.OccupancyGen()
+	if c.busyValid && c.busyGen == gen && c.busyReq == req {
+		c.Hits++
+		return c.busyMask
+	}
+	m := c.alloc.Generate(occ.CountersView(), req)
+	c.busyGen, c.busyReq, c.busyMask, c.busyValid = gen, req, m, true
+	c.Misses++
+	return m
+}

@@ -51,14 +51,16 @@ func (h *Harness) Ablation(w io.Writer) {
 			for j := range specs {
 				specs[j] = server.WorkerSpec{Model: m, Batch: models.CalibrationBatch}
 			}
-			res := server.Run(server.Config{
+			cfg := server.Config{
 				Spec:         spec,
 				HSA:          hsaCfg,
 				Policy:       policies.KRISPI,
 				Workers:      specs,
 				Seed:         h.opts.Seed,
 				MeasureScale: scale,
-			})
+			}
+			h.applyProfiles(&cfg)
+			res := server.Run(cfg)
 			vals = append(vals, res.RPS/iso[i])
 		}
 		return metrics.Geomean(vals)

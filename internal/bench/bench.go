@@ -61,6 +61,12 @@ type Harness struct {
 	opts Options
 	// evals memoizes MainEval by batch size.
 	evals map[int]*MainEval
+	// profiles shares install-time profiling (performance DBs and model
+	// right-sizes) across all cells of a grid, including parallel ones.
+	profiles profileStore
+	// noProfileShare disables the shared store so determinism tests can
+	// compare against per-cell profiling.
+	noProfileShare bool
 }
 
 // New creates a Harness.
@@ -144,13 +150,15 @@ func (h *Harness) runServer(m models.Model, batch, workers int, policy policies.
 	if h.opts.Quick {
 		scale = 0.25
 	}
-	return server.Run(server.Config{
+	cfg := server.Config{
 		Policy:       policy,
 		Workers:      specs,
 		Seed:         h.opts.Seed,
 		OverlapLimit: overlap,
 		MeasureScale: scale,
-	})
+	}
+	h.applyProfiles(&cfg)
+	return server.Run(cfg)
 }
 
 // gridMap evaluates fn for every job index in [0, n) and returns the

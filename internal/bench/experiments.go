@@ -413,14 +413,16 @@ func (h *Harness) Fig15(w io.Writer) {
 	}
 	vals := gridMap(h, len(jobs), func(i int) float64 {
 		job := jobs[i]
-		res := server.Run(server.Config{
+		cfg := server.Config{
 			Policy: job.policy,
 			Workers: []server.WorkerSpec{
 				{Model: job.a, Batch: models.CalibrationBatch},
 				{Model: job.b, Batch: models.CalibrationBatch},
 			},
 			Seed: h.opts.Seed,
-		})
+		}
+		h.applyProfiles(&cfg)
+		res := server.Run(cfg)
 		// Normalize each worker's throughput to its model's isolated
 		// rate, then sum — 2.0 means both ran at full isolated speed.
 		isoA := e.Isolated[job.a.Name].RPS
@@ -558,10 +560,12 @@ func mean(vals []float64) float64 {
 
 // runServerEmulated runs one KRISP-I worker through the emulated path.
 func (h *Harness) runServerEmulated(m models.Model, batch int) server.Result {
-	return server.Run(server.Config{
+	cfg := server.Config{
 		Policy:         policies.KRISPI,
 		Workers:        []server.WorkerSpec{{Model: m, Batch: batch}},
 		Seed:           h.opts.Seed,
 		ForceEmulation: true,
-	})
+	}
+	h.applyProfiles(&cfg)
+	return server.Run(cfg)
 }

@@ -83,12 +83,14 @@ func (h *Harness) LoadSweep(w io.Writer) {
 			for i := range specs {
 				specs[i] = server.WorkerSpec{Model: m, Batch: models.CalibrationBatch}
 			}
-			res := server.RunOpenLoop(server.Config{
+			cfg := server.Config{
 				Policy:       k,
 				Workers:      specs,
 				Seed:         h.opts.Seed,
 				MeasureScale: scale,
-			}, server.Arrival{RatePerSec: rate})
+			}
+			h.applyProfiles(&cfg)
+			res := server.RunOpenLoop(cfg, server.Arrival{RatePerSec: rate})
 			row = append(row,
 				fmt.Sprintf("%.1f", res.RequestLatency.P95()/1000),
 				fmt.Sprintf("%.0f", res.Completed))

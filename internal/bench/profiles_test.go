@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSharedProfilesMatchUnshared is the determinism guarantee behind the
+// shared profile store: injecting the cached DB / right-sizes into a cell
+// must be invisible in the output, because the injected values are exactly
+// what server.Run would have profiled per cell. It compares a harness with
+// sharing disabled (per-cell profiling, serial) against sharing enabled,
+// both serial and fanned out over 8 workers, byte for byte. table4
+// exercises the KRISP DB path, fig15 the mixed-model DB merge plus
+// ModelRightSize injection.
+func TestSharedProfilesMatchUnshared(t *testing.T) {
+	for _, id := range []string{"table4", "fig15"} {
+		unshared := New(Options{Seed: 7, Quick: true})
+		unshared.noProfileShare = true
+		var want bytes.Buffer
+		if err := unshared.Run(id, &want); err != nil {
+			t.Fatalf("unshared %s: %v", id, err)
+		}
+		if want.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+		for _, workers := range []int{1, 8} {
+			shared := New(Options{Seed: 7, Quick: true, Parallel: workers})
+			var got bytes.Buffer
+			if err := shared.Run(id, &got); err != nil {
+				t.Fatalf("shared %s (parallel %d): %v", id, workers, err)
+			}
+			if !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Errorf("%s: shared-profile output differs (parallel %d)\n--- unshared ---\n%s\n--- shared ---\n%s",
+					id, workers, want.String(), got.String())
+			}
+		}
+		if len(New(Options{}).profiles.entries) != 0 {
+			t.Fatal("fresh harness has profile entries")
+		}
+	}
+}

@@ -274,10 +274,21 @@ func (rt *Runtime) LaunchKernel(d kernels.Desc, onDone func()) {
 	}
 }
 
+// traceRec dedupes trace emission across the retry attempts of one seq:
+// each attempt registers its own completion hook, and whichever attempt
+// finally completes claims the record. Without the guard, fault paths that
+// complete an earlier attempt's signal late (watchdog resets, injected
+// double completions) could log the same seq twice.
+type traceRec struct{ recorded bool }
+
 // submit dispatches a kernel (kernel-scoped iff partition > 0) and wires
 // tracing around it.
 func (rt *Runtime) submit(seq int, d kernels.Desc, partition int, onDone func()) {
-	rt.submitAttempt(seq, d, partition, 0, onDone)
+	var rec *traceRec
+	if rt.cfg.Trace != nil {
+		rec = &traceRec{}
+	}
+	rt.submitAttempt(seq, d, partition, 0, rec, onDone)
 }
 
 // onFaultFor builds the transient-failure handler for one dispatch
@@ -285,7 +296,7 @@ func (rt *Runtime) submit(seq int, d kernels.Desc, partition int, onDone func())
 // sequence continues without the kernel — bounded degradation beats a
 // wedged stream). Returns nil when hardening is disabled, so fault-free
 // runs carry no handler and injected failures are swallowed in hsa.
-func (rt *Runtime) onFaultFor(seq int, d kernels.Desc, partition, attempt int, onDone func()) func() {
+func (rt *Runtime) onFaultFor(seq int, d kernels.Desc, partition, attempt int, rec *traceRec, onDone func()) func() {
 	h := rt.cfg.Hardening
 	if h == nil {
 		return nil
@@ -301,29 +312,34 @@ func (rt *Runtime) onFaultFor(seq int, d kernels.Desc, partition, attempt int, o
 		h.Stats.KernelRetries++
 		backoff := h.RetryBackoff * sim.Duration(int64(1)<<uint(attempt))
 		rt.eng.After(backoff, func() {
-			rt.submitAttempt(seq, d, partition, attempt+1, onDone)
+			rt.submitAttempt(seq, d, partition, attempt+1, rec, onDone)
 		})
 	}
 }
 
-func (rt *Runtime) submitAttempt(seq int, d kernels.Desc, partition, attempt int, onDone func()) {
-	sig := hsa.NewSignal(1)
-	onFault := rt.onFaultFor(seq, d, partition, attempt, onDone)
+func (rt *Runtime) submitAttempt(seq int, d kernels.Desc, partition, attempt int, rec *traceRec, onDone func()) {
+	sig := rt.cp.GetSignal(1)
+	onFault := rt.onFaultFor(seq, d, partition, attempt, rec, onDone)
 	if rt.cfg.Trace != nil {
 		var start sim.Time
 		var granted gpu.CUMask
 		// The queue serializes kernels, so completion order matches launch
-		// order and records append in sequence.
+		// order and records append in sequence. rec guards the emission:
+		// exactly one record per seq, stamped with the attempt that made it.
 		sig.OnDone(func() {
-			rt.cfg.Trace.Add(trace.Record{
-				Seq:          seq,
-				Kernel:       d.Name,
-				Workgroups:   d.Work.Workgroups,
-				MinCU:        partition,
-				AllocatedCUs: granted.Count(),
-				Start:        start,
-				End:          rt.eng.Now(),
-			})
+			if !rec.recorded {
+				rec.recorded = true
+				rt.cfg.Trace.Add(trace.Record{
+					Seq:          seq,
+					Kernel:       d.Name,
+					Workgroups:   d.Work.Workgroups,
+					MinCU:        partition,
+					AllocatedCUs: granted.Count(),
+					Attempt:      attempt,
+					Start:        start,
+					End:          rt.eng.Now(),
+				})
+			}
 			if onDone != nil {
 				onDone()
 			}
@@ -358,13 +374,16 @@ func (rt *Runtime) submitAttempt(seq int, d kernels.Desc, partition, attempt int
 // launchEmulated implements Fig. 11b: barrier (callback: right-size +
 // allocate + IOCTL) -> barrier (wait for mask applied) -> kernel.
 func (rt *Runtime) launchEmulated(seq int, d kernels.Desc, onDone func()) {
-	maskApplied := hsa.NewSignal(1)
+	// maskApplied is observed (Done) by the second barrier after it
+	// completes, so it takes the explicitly-recycled pool path: the second
+	// barrier's callback returns it once no reference remains.
+	maskApplied := rt.cp.GetBarrierSignal(1)
 	// First barrier: consumed once prior kernels in this queue are done
 	// (queue FIFO order guarantees that); its runtime callback performs
 	// kernel-wise right-sizing and queue mask reconfiguration.
 	rt.queue.SubmitBarrier(nil, func() {
 		size := rt.rs.Size(d)
-		mask := alloc.GenerateMask(rt.dev.Spec.Topo, rt.dev.Counters(), alloc.Request{
+		mask := rt.cp.GenerateKernelMask(alloc.Request{
 			NumCUs:       size,
 			OverlapLimit: rt.cfg.OverlapLimit,
 			Policy:       rt.cfg.Policy,
@@ -388,8 +407,11 @@ func (rt *Runtime) launchEmulated(seq int, d kernels.Desc, onDone func()) {
 		})
 	}, nil)
 	// Second barrier: blocks the kernel packet until the IOCTL applied
-	// the new mask, avoiding the mask/kernel race.
-	rt.queue.SubmitBarrier([]*hsa.Signal{maskApplied}, nil, nil)
+	// the new mask, avoiding the mask/kernel race. Its callback is the
+	// last reader of maskApplied, so it returns the signal to the pool.
+	rt.queue.SubmitBarrier([]*hsa.Signal{maskApplied}, func() {
+		rt.cp.PutSignal(maskApplied)
+	}, nil)
 	// The kernel itself inherits the queue mask just installed.
 	rt.submit(seq, d, 0, onDone)
 }

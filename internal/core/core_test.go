@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"krisp/internal/alloc"
+	"krisp/internal/faults"
 	"krisp/internal/gpu"
 	"krisp/internal/hsa"
 	"krisp/internal/kernels"
@@ -217,5 +218,63 @@ func TestOverheadScalesWithKernelCount(t *testing.T) {
 	ratio := float64(long.LOver) / float64(short.LOver)
 	if ratio < 3.5 || ratio > 4.5 {
 		t.Errorf("overhead ratio = %.2f, want ~4 (scales with kernel count)", ratio)
+	}
+}
+
+// failFirst is a FaultHook failing the first n kernel dispatches.
+type failFirst struct{ n int }
+
+func (f *failFirst) IOCTLOutcome() (bool, sim.Duration) { return false, 0 }
+func (f *failFirst) KernelOutcome() (float64, bool) {
+	if f.n > 0 {
+		f.n--
+		return 1, true
+	}
+	return 1, false
+}
+func (f *failFirst) NoteHealthRemask() {}
+
+// TestRetriedLaunchTracesOnce pins the retry/trace contract: a kernel that
+// transiently fails and is relaunched produces exactly one trace record
+// for its seq, stamped with the attempt that completed it.
+func TestRetriedLaunchTracesOnce(t *testing.T) {
+	descs := twoKernels()
+	s := newStack(t, descs, true)
+	s.cp.SetFaults(&failFirst{n: 2})
+	var tr trace.Trace
+	stats := &faults.Stats{}
+	rt := s.runtime(Config{
+		Mode:  ModeNative,
+		Trace: &tr,
+		Hardening: &Hardening{
+			MaxRetries: 3, RetryBackoff: 10, IOCTLFailureStreak: 3, Stats: stats,
+		},
+	})
+	done := false
+	rt.RunSequence(descs, func() { done = true })
+	s.eng.Run()
+	if !done {
+		t.Fatal("sequence never completed")
+	}
+	if stats.KernelRetries != 2 {
+		t.Fatalf("KernelRetries = %d, want 2", stats.KernelRetries)
+	}
+	recs := tr.Records()
+	if len(recs) != len(descs) {
+		t.Fatalf("%d trace records, want %d (one per seq)", len(recs), len(descs))
+	}
+	seen := map[int]bool{}
+	retried := 0
+	for _, r := range recs {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate trace record for seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+		if r.Attempt > 0 {
+			retried++
+		}
+	}
+	if retried != 2 {
+		t.Fatalf("%d records marked as retried, want 2", retried)
 	}
 }

@@ -116,6 +116,10 @@ type Exec struct {
 	// fixed at dispatch; memIntensity its bandwidth demand weight.
 	pressure     float64
 	memIntensity float64
+	// completeFn is the cached completion closure scheduled on the engine;
+	// created once per Exec object and reused across free-list recycles so
+	// steady-state launches allocate nothing.
+	completeFn func()
 }
 
 // Mask returns the CU mask this execution was dispatched with.
@@ -151,6 +155,13 @@ type Device struct {
 	memPressure float64
 	meter       Meter
 	nextID      uint64
+	// gen is the occupancy generation: it advances whenever the per-CU
+	// kernel counters change, so mask caches keyed on it can prove an
+	// occupancy state unchanged without comparing counter arrays.
+	gen uint64
+	// execFree recycles completed Exec objects so steady-state launches
+	// allocate nothing.
+	execFree []*Exec
 
 	// busyIntegral accumulates busyCUs x time for utilization reporting.
 	busyIntegral float64
@@ -265,6 +276,16 @@ func (d *Device) Counters() []int {
 	return out
 }
 
+// CountersView returns the live per-CU kernel counters without copying —
+// the zero-allocation Resource Monitor read the dispatch fast path uses.
+// The slice is owned by the device: callers must not mutate it or hold it
+// across simulation events (use OccupancyGen to detect staleness).
+func (d *Device) CountersView() []int { return d.counters }
+
+// OccupancyGen returns the occupancy generation counter; it changes
+// whenever any per-CU kernel counter changes.
+func (d *Device) OccupancyGen() uint64 { return d.gen }
+
 // Running returns the number of kernels currently executing.
 func (d *Device) Running() int { return len(d.running) }
 
@@ -275,6 +296,7 @@ func (d *Device) BusyCUs() int { return d.busy }
 // pressure — to every CU enabled in m, iterating set bits directly so the
 // per-launch bookkeeping allocates nothing.
 func (d *Device) chargeExec(m CUMask, pressure float64) {
+	d.gen++
 	for w := m.lo; w != 0; w &= w - 1 {
 		d.chargeCU(bits.TrailingZeros64(w), pressure)
 	}
@@ -293,6 +315,7 @@ func (d *Device) chargeCU(cu int, pressure float64) {
 
 // releaseExec undoes chargeExec for a finished or re-masked execution.
 func (d *Device) releaseExec(m CUMask, pressure float64) {
+	d.gen++
 	for w := m.lo; w != 0; w &= w - 1 {
 		d.releaseCU(bits.TrailingZeros64(w), pressure)
 	}
@@ -361,14 +384,24 @@ func (d *Device) Launch(work KernelWork, mask CUMask, onDone func()) *Exec {
 	}
 	d.accumulateBusy()
 	d.nextID++
-	x := &Exec{
-		work:       work,
-		mask:       mask,
-		onDone:     onDone,
-		remaining:  1,
-		lastUpdate: d.eng.Now(),
-		id:         d.nextID,
+	var x *Exec
+	if n := len(d.execFree); n > 0 {
+		x = d.execFree[n-1]
+		d.execFree[n-1] = nil
+		d.execFree = d.execFree[:n-1]
+	} else {
+		x = &Exec{}
+		xx := x
+		x.completeFn = func() { d.complete(xx) }
 	}
+	x.work = work
+	x.mask = mask
+	x.onDone = onDone
+	x.remaining = 1
+	x.curTotal = 0
+	x.lastUpdate = d.eng.Now()
+	x.done = nil
+	x.id = d.nextID
 	x.pressure, x.memIntensity = d.pressureOf(work, mask)
 	d.chargeExec(mask, x.pressure)
 	d.memPressure += x.memIntensity
@@ -390,8 +423,18 @@ func (d *Device) complete(x *Exec) {
 	}
 	d.retime()
 	d.observe()
-	if x.onDone != nil {
-		x.onDone()
+	// Recycle before the callback: the Exec is fully detached from device
+	// state, and a callback that immediately launches the next kernel can
+	// then reuse the object. The callback runs from a stack copy so the
+	// reset cannot clobber it.
+	onDone := x.onDone
+	x.onDone = nil
+	x.done = nil
+	x.work = KernelWork{}
+	x.mask = CUMask{}
+	d.execFree = append(d.execFree, x)
+	if onDone != nil {
+		onDone()
 	}
 }
 
@@ -421,8 +464,7 @@ func (d *Device) retime() {
 		x.curTotal = d.duration(x.work, x.mask, x.pressure, x.memIntensity)
 		finish := now + x.remaining*x.curTotal
 		if x.done == nil {
-			xx := x
-			x.done = d.eng.At(finish, func() { d.complete(xx) })
+			x.done = d.eng.At(finish, x.completeFn)
 		} else {
 			x.done = d.eng.Reschedule(x.done, finish)
 		}

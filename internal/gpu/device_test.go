@@ -295,3 +295,32 @@ func TestDeviceCounterConservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestOccupancyGenTracksCounters pins the mask-cache invalidation
+// contract: the occupancy generation advances whenever the per-CU kernel
+// counters change (launch and completion), never between, and
+// CountersView aliases the live counters.
+func TestOccupancyGenTracksCounters(t *testing.T) {
+	eng := sim.New()
+	d := NewDevice(eng, MI50Spec(), nil)
+	view := d.CountersView()
+	g0 := d.OccupancyGen()
+	d.Launch(KernelWork{Workgroups: 60, ThreadsPerWG: 256, WGTime: 10, Tail: 0.5}, RangeMask(MI50, 0, 15), nil)
+	g1 := d.OccupancyGen()
+	if g1 == g0 {
+		t.Fatal("launch did not advance the occupancy generation")
+	}
+	if view[0] != 1 || view[15] != 0 {
+		t.Fatalf("CountersView not live: view[0]=%d view[15]=%d", view[0], view[15])
+	}
+	if got := d.OccupancyGen(); got != g1 {
+		t.Fatalf("generation moved without a counter change: %d -> %d", g1, got)
+	}
+	eng.Run()
+	if d.OccupancyGen() == g1 {
+		t.Fatal("completion did not advance the occupancy generation")
+	}
+	if d.BusyCUs() != 0 || view[0] != 0 {
+		t.Fatalf("device not idle after drain: busy=%d view[0]=%d", d.BusyCUs(), view[0])
+	}
+}

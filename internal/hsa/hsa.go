@@ -10,6 +10,14 @@
 // Queues process their packets in order and serialize kernel execution the
 // way dependent ML inference streams do: packet n+1 is consumed only after
 // packet n's kernel has completed.
+//
+// The packet processor is the simulator's hottest path — it runs for every
+// kernel of every inference pass — so its steady state allocates nothing:
+// queues store packets in a head-indexed ring, the dispatch and completion
+// hooks are pre-bound method values created once per queue, completion
+// signals recycle through a per-processor free list, and kernel-scoped
+// mask generation goes through an alloc.MaskCache over the device's live
+// Resource Monitor counters.
 package hsa
 
 import (
@@ -40,6 +48,12 @@ type Signal struct {
 	// corrupt the dependency counts of barrier packets waiting on it.
 	fired    bool
 	overruns int
+	// pool, when non-nil, is the command processor whose free list this
+	// signal recycles through; auto makes the recycle happen right after
+	// the completion waiters fire (safe only when nothing observes the
+	// signal past completion — see CommandProcessor.GetSignal).
+	pool *CommandProcessor
+	auto bool
 }
 
 // NewSignal creates a signal with the given initial value. A value of 0 is
@@ -71,13 +85,21 @@ func (s *Signal) Complete() {
 		return
 	}
 	s.value--
-	if s.value == 0 && !s.fired {
-		s.fired = true
-		ws := s.waiters
+	if s.value != 0 || s.fired {
+		return
+	}
+	s.fired = true
+	ws := s.waiters
+	if s.pool == nil {
+		// Unpooled signals shed their waiters permanently; pooled ones
+		// keep the backing array for the next lease.
 		s.waiters = nil
-		for _, w := range ws {
-			w()
-		}
+	}
+	for i := range ws {
+		ws[i]()
+	}
+	if s.pool != nil && s.auto {
+		s.pool.putSignal(s)
 	}
 }
 
@@ -200,6 +222,14 @@ type CommandProcessor struct {
 	eng *sim.Engine
 	dev *gpu.Device
 
+	// masks caches Algorithm 1 output against the device's occupancy
+	// generation (the dispatch fast path).
+	masks *alloc.MaskCache
+
+	// sigFree recycles completion signals leased through GetSignal /
+	// GetBarrierSignal.
+	sigFree []*Signal
+
 	// ioctlFreeAt implements global IOCTL serialization.
 	ioctlFreeAt sim.Time
 	nextQueueID int
@@ -230,7 +260,7 @@ func (cp *CommandProcessor) Queue(i int) *Queue {
 func (cp *CommandProcessor) ActiveStreams() int {
 	n := 0
 	for _, q := range cp.queues {
-		if q.busy || len(q.packets) > 0 {
+		if q.busy || q.Pending() > 0 {
 			n++
 		}
 	}
@@ -249,7 +279,12 @@ func (cp *CommandProcessor) FairShare() int {
 
 // NewCommandProcessor creates a command processor bound to a device.
 func NewCommandProcessor(eng *sim.Engine, dev *gpu.Device, cfg Config) *CommandProcessor {
-	return &CommandProcessor{cfg: cfg, eng: eng, dev: dev}
+	return &CommandProcessor{
+		cfg:   cfg,
+		eng:   eng,
+		dev:   dev,
+		masks: alloc.NewMaskCache(dev.Spec.Topo),
+	}
 }
 
 // Device returns the device this command processor dispatches to.
@@ -258,6 +293,71 @@ func (cp *CommandProcessor) Device() *gpu.Device { return cp.dev }
 // Config returns the command processor configuration.
 func (cp *CommandProcessor) Config() Config { return cp.cfg }
 
+// MaskCache returns the processor's Algorithm 1 cache (for stats/tests).
+func (cp *CommandProcessor) MaskCache() *alloc.MaskCache { return cp.masks }
+
+// GenerateKernelMask runs Algorithm 1 for req against the device's live
+// Resource Monitor counters through the processor's mask cache — the same
+// path the packet processor uses for kernel-scoped dispatches, exposed for
+// the runtime's emulated enforcement (Fig. 11b).
+func (cp *CommandProcessor) GenerateKernelMask(req alloc.Request) gpu.CUMask {
+	return cp.masks.Generate(cp.dev, req)
+}
+
+// GetSignal leases a completion signal from the processor's free list
+// (allocating one when the list is empty). The signal returns itself to
+// the pool as soon as it completes and its waiters have run, so it must
+// not be observed (Done/Value/OnDone) after completion — the pattern of a
+// kernel completion signal, whose last act is firing its waiters. Signals
+// that never complete (a faulted dispatch routed to OnFault) simply fall
+// to the garbage collector; the pool is a cache, not an accounting ledger.
+func (cp *CommandProcessor) GetSignal(initial int) *Signal {
+	s := cp.leaseSignal(initial)
+	s.auto = true
+	return s
+}
+
+// GetBarrierSignal leases a pooled signal that is NOT recycled on
+// completion: barrier dependency signals may be inspected (Done) after
+// they complete, so the owner returns them with PutSignal at a point where
+// no references remain — typically the consuming barrier's callback.
+func (cp *CommandProcessor) GetBarrierSignal(initial int) *Signal {
+	s := cp.leaseSignal(initial)
+	s.auto = false
+	return s
+}
+
+// PutSignal returns a signal leased with GetBarrierSignal to the free
+// list. It must be called at most once per lease, only after the signal
+// completed and every reference to it is dead. Signals from other
+// processors (or plain NewSignal) are ignored.
+func (cp *CommandProcessor) PutSignal(s *Signal) {
+	if s == nil || s.pool != cp {
+		return
+	}
+	cp.putSignal(s)
+}
+
+func (cp *CommandProcessor) leaseSignal(initial int) *Signal {
+	var s *Signal
+	if n := len(cp.sigFree); n > 0 {
+		s = cp.sigFree[n-1]
+		cp.sigFree[n-1] = nil
+		cp.sigFree = cp.sigFree[:n-1]
+	} else {
+		s = &Signal{pool: cp}
+	}
+	s.value = initial
+	s.fired = false
+	s.overruns = 0
+	return s
+}
+
+func (cp *CommandProcessor) putSignal(s *Signal) {
+	s.waiters = s.waiters[:0]
+	cp.sigFree = append(cp.sigFree, s)
+}
+
 // Queue is a software HSA queue. Packets submitted to it are consumed in
 // FIFO order; kernel packets serialize on completion.
 type Queue struct {
@@ -265,8 +365,28 @@ type Queue struct {
 	cp   *CommandProcessor
 	mask gpu.CUMask
 
+	// packets[head:] are the waiting packets; the head index advances on
+	// consumption (and both reset once the queue drains) so the steady
+	// state re-uses one backing array instead of re-slicing it away.
 	packets []Packet
+	head    int
 	busy    bool // a packet from this queue is being processed or executing
+
+	// cur is the packet currently mid-flight (from consumption until its
+	// kernel completes or its barrier fires). The queue serializes
+	// packets, so exactly one can be in flight — which lets the pre-bound
+	// hooks below read it from the queue instead of a per-packet closure.
+	cur             Packet
+	curKernelScoped bool
+	curFaulted      bool
+	barrierWaits    int
+
+	// Pre-bound method values, created once in NewQueue, so the dispatch
+	// path schedules and registers callbacks without allocating closures.
+	dispatchFn   func()
+	kernelDoneFn func()
+	barrierFn    func()
+	barrierDepFn func()
 
 	// stalledUntil freezes the packet processor: while now < stalledUntil
 	// no new packet is consumed (a packet already mid-flight finishes).
@@ -283,6 +403,10 @@ func (cp *CommandProcessor) NewQueue() *Queue {
 		cp:   cp,
 		mask: gpu.FullMask(cp.dev.Spec.Topo),
 	}
+	q.dispatchFn = q.dispatchCur
+	q.kernelDoneFn = q.kernelDone
+	q.barrierFn = q.barrierReady
+	q.barrierDepFn = q.barrierDepDone
 	cp.queues = append(cp.queues, q)
 	return q
 }
@@ -401,7 +525,7 @@ func (q *Queue) SubmitKernelScoped(d kernels.Desc, partitionCUs, overlapLimit in
 }
 
 func (q *Queue) submitKernel(d kernels.Desc, cus, limit int, onDone func()) {
-	sig := NewSignal(1)
+	sig := q.cp.GetSignal(1)
 	if onDone != nil {
 		sig.OnDone(onDone)
 	}
@@ -428,124 +552,159 @@ func (q *Queue) SubmitBarrier(deps []*Signal, callback func(), completion *Signa
 
 // Pending returns the number of packets waiting in the queue (not counting
 // one currently being processed).
-func (q *Queue) Pending() int { return len(q.packets) }
+func (q *Queue) Pending() int { return len(q.packets) - q.head }
 
 // pump consumes the next packet if the queue is idle and not stalled.
 func (q *Queue) pump() {
-	if q.busy || len(q.packets) == 0 {
+	if q.busy || q.head >= len(q.packets) {
 		return
 	}
 	if q.Stalled() {
 		return // the stall's resume event re-pumps
 	}
 	q.busy = true
-	p := q.packets[0]
-	q.packets = q.packets[1:]
-	switch p.Type {
+	q.cur = q.packets[q.head]
+	q.packets[q.head] = Packet{} // release the slot's references
+	q.head++
+	if q.head == len(q.packets) {
+		q.packets = q.packets[:0]
+		q.head = 0
+	}
+	switch q.cur.Type {
 	case KernelDispatch:
-		q.processKernel(p)
+		q.processKernel()
 	case BarrierAND:
-		q.processBarrier(p)
+		q.processBarrier()
 	default:
 		panic("hsa: unknown packet type")
 	}
 }
 
-func (q *Queue) processKernel(p Packet) {
+// processKernel pays the packet-processing cost, then hands q.cur to the
+// device via the pre-bound dispatch hook.
+func (q *Queue) processKernel() {
 	cp := q.cp
 	cost := cp.cfg.PacketProcessTime
-	kernelScoped := cp.cfg.KernelScoped && p.PartitionCUs > 0
-	if kernelScoped {
+	q.curKernelScoped = cp.cfg.KernelScoped && q.cur.PartitionCUs > 0
+	if q.curKernelScoped {
 		cost += cp.cfg.MaskAllocTime
 	}
-	cp.eng.After(cost, func() {
-		mask := q.mask
-		if kernelScoped {
-			// KRISP packet processor: generate the kernel resource mask
-			// from the live Resource Monitor counters. The fair share of
-			// the device is passed as the progress floor.
-			minGrant := cp.FairShare()
-			if cp.cfg.NoFairShare {
-				minGrant = 0
-			}
-			mask = alloc.GenerateMask(cp.dev.Spec.Topo, cp.dev.Counters(), alloc.Request{
-				NumCUs:       p.PartitionCUs,
-				OverlapLimit: p.OverlapLimit,
-				Policy:       cp.cfg.AllocPolicy,
-				MinGrant:     minGrant,
-			})
-		}
-		if !cp.dev.AllHealthy() {
-			// Dead CUs are masked out before dispatch; an all-dead grant
-			// falls back to the surviving set so the kernel still runs.
-			if m := mask.And(cp.dev.HealthMask()); !m.Equal(mask) {
-				if m.IsEmpty() {
-					m = cp.dev.HealthMask()
-				}
-				mask = m
-				if cp.faults != nil {
-					cp.faults.NoteHealthRemask()
-				}
-			}
-		}
-		work := p.Kernel.Work
-		var faulted bool
-		if cp.faults != nil {
-			stretch, fail := cp.faults.KernelOutcome()
-			if stretch > 1 {
-				work.WGTime *= stretch
-				work.Tail *= stretch
-			}
-			faulted = fail
-		}
-		cp.DispatchCount++
-		if p.OnDispatch != nil {
-			p.OnDispatch(mask)
-		}
-		cp.dev.Launch(work, mask, func() {
-			if faulted && p.OnFault != nil {
-				p.OnFault()
-			} else if p.Completion != nil {
-				p.Completion.Complete()
-			}
-			q.busy = false
-			q.pump()
-		})
-	})
+	cp.eng.After(cost, q.dispatchFn)
 }
 
-func (q *Queue) processBarrier(p Packet) {
+// dispatchCur launches the in-flight kernel packet on the device.
+func (q *Queue) dispatchCur() {
 	cp := q.cp
-	cp.eng.After(cp.cfg.PacketProcessTime, func() {
-		fire := func() {
-			if p.Callback != nil {
-				p.Callback()
-			}
-			if p.Completion != nil {
-				p.Completion.Complete()
-			}
-			q.busy = false
-			q.pump()
+	p := &q.cur
+	mask := q.mask
+	if q.curKernelScoped {
+		// KRISP packet processor: generate the kernel resource mask
+		// from the live Resource Monitor counters. The fair share of
+		// the device is passed as the progress floor.
+		minGrant := cp.FairShare()
+		if cp.cfg.NoFairShare {
+			minGrant = 0
 		}
-		remaining := 0
-		for _, s := range p.DepSignals {
-			if !s.Done() {
-				remaining++
+		mask = cp.masks.Generate(cp.dev, alloc.Request{
+			NumCUs:       p.PartitionCUs,
+			OverlapLimit: p.OverlapLimit,
+			Policy:       cp.cfg.AllocPolicy,
+			MinGrant:     minGrant,
+		})
+	}
+	if !cp.dev.AllHealthy() {
+		// Dead CUs are masked out before dispatch; an all-dead grant
+		// falls back to the surviving set so the kernel still runs.
+		if m := mask.And(cp.dev.HealthMask()); !m.Equal(mask) {
+			if m.IsEmpty() {
+				m = cp.dev.HealthMask()
 			}
-		}
-		if remaining == 0 {
-			fire()
-			return
-		}
-		for _, s := range p.DepSignals {
-			if !s.Done() {
-				s.OnDone(func() {
-					remaining--
-					if remaining == 0 {
-						fire()
-					}
-				})
+			mask = m
+			if cp.faults != nil {
+				cp.faults.NoteHealthRemask()
 			}
 		}
-	})
+	}
+	work := p.Kernel.Work
+	q.curFaulted = false
+	if cp.faults != nil {
+		stretch, fail := cp.faults.KernelOutcome()
+		if stretch > 1 {
+			work.WGTime *= stretch
+			work.Tail *= stretch
+		}
+		q.curFaulted = fail
+	}
+	cp.DispatchCount++
+	if p.OnDispatch != nil {
+		p.OnDispatch(mask)
+	}
+	cp.dev.Launch(work, mask, q.kernelDoneFn)
+}
+
+// kernelDone finishes the in-flight kernel packet: completion (or the
+// fault route), then the next packet.
+func (q *Queue) kernelDone() {
+	onFault := q.cur.OnFault
+	completion := q.cur.Completion
+	faulted := q.curFaulted
+	q.cur = Packet{}
+	q.curFaulted = false
+	if faulted && onFault != nil {
+		onFault()
+	} else if completion != nil {
+		completion.Complete()
+	}
+	q.busy = false
+	q.pump()
+}
+
+// processBarrier pays the packet-processing cost, then evaluates the
+// barrier's dependencies.
+func (q *Queue) processBarrier() {
+	q.cp.eng.After(q.cp.cfg.PacketProcessTime, q.barrierFn)
+}
+
+// barrierReady counts the in-flight barrier's outstanding dependencies and
+// either fires it or parks the pre-bound dep hook on each pending signal.
+func (q *Queue) barrierReady() {
+	deps := q.cur.DepSignals
+	q.barrierWaits = 0
+	for _, s := range deps {
+		if !s.Done() {
+			q.barrierWaits++
+		}
+	}
+	if q.barrierWaits == 0 {
+		q.finishBarrier()
+		return
+	}
+	for _, s := range deps {
+		if !s.Done() {
+			s.OnDone(q.barrierDepFn)
+		}
+	}
+}
+
+func (q *Queue) barrierDepDone() {
+	q.barrierWaits--
+	if q.barrierWaits == 0 {
+		q.finishBarrier()
+	}
+}
+
+// finishBarrier consumes the in-flight barrier packet: callback,
+// completion, then the next packet.
+func (q *Queue) finishBarrier() {
+	callback := q.cur.Callback
+	completion := q.cur.Completion
+	q.cur = Packet{}
+	if callback != nil {
+		callback()
+	}
+	if completion != nil {
+		completion.Complete()
+	}
+	q.busy = false
+	q.pump()
 }

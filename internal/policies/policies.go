@@ -283,13 +283,22 @@ func carvePartition(topo gpu.Topology, counters []int, n int) gpu.CUMask {
 	return mask
 }
 
-// Oversubscribed reports whether the model-wise assignments overlap any
-// CU, i.e. the requested partitions exceeded the device. The paper marks
-// such configurations with open circles because prior works would not
-// schedule them.
-func Oversubscribed(assignments []Assignment) bool {
+// Oversubscribed reports whether the model-wise assignments exceed the
+// device, i.e. the requested partitions cannot coexist without sharing
+// CUs. The paper marks such configurations with open circles because prior
+// works would not schedule them. Two shapes are detected: passthrough
+// assignments whose stream masks overlap (ModelRightSize's carved
+// partitions), and fixed-partition assignments (MRSRequest's model-wise
+// sizes enforced per kernel) whose sizes sum past the device — those have
+// no static masks to intersect, but the partitions overlap dynamically all
+// the same.
+func Oversubscribed(topo gpu.Topology, assignments []Assignment) bool {
 	var seen gpu.CUMask
+	fixed := 0
 	for _, a := range assignments {
+		if a.FixedPartition > 0 {
+			fixed += a.FixedPartition
+		}
 		if a.Mode != core.ModePassthrough {
 			continue
 		}
@@ -298,5 +307,5 @@ func Oversubscribed(assignments []Assignment) bool {
 		}
 		seen = seen.Or(a.QueueMask)
 	}
-	return false
+	return fixed > topo.TotalCUs()
 }

@@ -23,7 +23,7 @@ func TestMPSDefaultSharesEverything(t *testing.T) {
 			t.Errorf("worker %d mask = %d CUs, want 60", i, a.QueueMask.Count())
 		}
 	}
-	if !Oversubscribed(as) {
+	if !Oversubscribed(mi50, as) {
 		t.Error("MPS Default should report overlapping masks")
 	}
 }
@@ -43,7 +43,7 @@ func TestStaticEqualDisjoint(t *testing.T) {
 			}
 			union = union.Or(a.QueueMask)
 		}
-		if Oversubscribed(as) {
+		if Oversubscribed(mi50, as) {
 			t.Errorf("n=%d: static equal reported oversubscribed", n)
 		}
 	}
@@ -58,14 +58,14 @@ func TestModelRightSizeFitsWithoutOverlap(t *testing.T) {
 	if !as[0].QueueMask.And(as[1].QueueMask).IsEmpty() {
 		t.Error("fitting partitions overlap")
 	}
-	if Oversubscribed(as) {
+	if Oversubscribed(mi50, as) {
 		t.Error("fitting configuration reported oversubscribed")
 	}
 }
 
 func TestModelRightSizeOverlapsWhenFull(t *testing.T) {
 	as := Assign(ModelRightSize, mi50, []int{55, 55}) // 110 > 60
-	if !Oversubscribed(as) {
+	if !Oversubscribed(mi50, as) {
 		t.Error("oversized configuration not reported oversubscribed")
 	}
 	if as[0].QueueMask.Count() != 55 || as[1].QueueMask.Count() != 55 {
@@ -153,5 +153,14 @@ func TestNamesRoundTrip(t *testing.T) {
 	}
 	if Kind(42).String() != "unknown" || Kind(42).Label() != "Unknown" {
 		t.Error("unknown kind formatting wrong")
+	}
+}
+
+func TestMRSRequestReportsOversubscription(t *testing.T) {
+	if Oversubscribed(mi50, Assign(MRSRequest, mi50, []int{20, 20})) {
+		t.Error("fitting MRS-request configuration reported oversubscribed")
+	}
+	if !Oversubscribed(mi50, Assign(MRSRequest, mi50, []int{55, 55})) {
+		t.Error("oversized MRS-request configuration not reported oversubscribed")
 	}
 }

@@ -201,19 +201,11 @@ func (w *worker) runOpenBatch(arrivals []sim.Time) {
 }
 
 // jitteredOpenKernels builds the kernel sequence for a (possibly partial)
-// batch with per-instance noise.
+// batch with per-instance noise, reusing the worker's desc buffer. The
+// batch size varies per dispatch, so only the jittered copy is cached, not
+// the base sequence.
 func (w *worker) jitteredOpenKernels(batch int) []kernels.Desc {
-	descs := w.spec.Model.Kernels(batch)
-	if w.jitter == 0 {
-		return descs
-	}
-	out := make([]kernels.Desc, len(descs))
-	for i, d := range descs {
-		f := 1 + w.jitter*(2*w.rng.Float64()-1)
-		d.Work.WGTime *= sim.Duration(f)
-		out[i] = d
-	}
-	return out
+	return w.jittered(w.spec.Model.Kernels(batch))
 }
 
 // Utilization returns offered load relative to the single-worker service

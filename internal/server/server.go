@@ -53,6 +53,11 @@ type Config struct {
 	Workers []WorkerSpec
 	// DB is the profiled performance database; built on the fly if nil.
 	DB *profile.DB
+	// RightSizes, when non-nil, supplies precomputed ModelRightSize results
+	// keyed "model/batch" (the key format of fmt.Sprintf("%s/%d", model,
+	// batch)); workers missing from the map are profiled on the fly. Grid
+	// harnesses share one profiling pass across cells this way.
+	RightSizes map[string]int
 	// Power is the energy model; zero value means energy.MI50Power.
 	Power energy.Model
 	// Seed drives the per-worker latency jitter.
@@ -224,10 +229,13 @@ func Run(cfg Config) Result {
 		cache := map[string]int{}
 		for i, w := range cfg.Workers {
 			key := fmt.Sprintf("%s/%d", w.Model.Name, w.Batch)
-			rs, ok := cache[key]
+			rs, ok := cfg.RightSizes[key]
 			if !ok {
-				rs = prof.ModelRightSize(w.Model.Kernels(w.Batch))
-				cache[key] = rs
+				rs, ok = cache[key]
+				if !ok {
+					rs = prof.ModelRightSize(w.Model.Kernels(w.Batch))
+					cache[key] = rs
+				}
 			}
 			rightSizes[i] = rs
 		}
@@ -265,7 +273,7 @@ func Run(cfg Config) Result {
 		for j, wi := range idxs {
 			assignments[wi] = as[j]
 		}
-		if policies.Oversubscribed(as) {
+		if policies.Oversubscribed(cfg.Spec.Topo, as) {
 			anyOversub = true
 		}
 	}
@@ -427,7 +435,7 @@ func Run(cfg Config) Result {
 		WindowUs:       cfg.Measure,
 		EnergyJ:        energyJ,
 		AvgBusyCUs:     busySum / float64(numGPUs),
-		Oversubscribed: cfg.Policy == policies.ModelRightSize && anyOversub,
+		Oversubscribed: (cfg.Policy == policies.ModelRightSize || cfg.Policy == policies.MRSRequest) && anyOversub,
 		Interrupted:    eng.Interrupted(),
 	}
 	if inj != nil {
@@ -460,6 +468,13 @@ type worker struct {
 	stats                    WorkerStats
 	openLoop                 *openLoop
 	chaos                    *chaosHarness
+
+	// baseDescs caches the closed-loop kernel sequence (fixed batch size);
+	// descBuf is the reusable jittered copy. RunSequence copies every desc
+	// by value into its packets before returning, so the buffer is free for
+	// the next batch as soon as the sequence is submitted.
+	baseDescs []kernels.Desc
+	descBuf   []kernels.Desc
 }
 
 func (w *worker) start() { w.runBatch() }
@@ -492,15 +507,28 @@ func (w *worker) runBatch() {
 	})
 }
 
-// jitteredKernels clones the model's kernel sequence with small
+// jitteredKernels returns the model's kernel sequence with small
 // per-instance duration noise, modelling run-to-run variance so tail
-// latencies are meaningful.
+// latencies are meaningful. The closed-loop batch size never changes, so
+// the base sequence is built once and the jittered copy lands in the
+// worker's reusable buffer instead of a fresh slice per batch.
 func (w *worker) jitteredKernels() []kernels.Desc {
-	descs := w.spec.Model.Kernels(w.spec.Batch)
+	if w.baseDescs == nil {
+		w.baseDescs = w.spec.Model.Kernels(w.spec.Batch)
+	}
+	return w.jittered(w.baseDescs)
+}
+
+// jittered applies per-instance duration noise into the worker's reusable
+// desc buffer (the input is returned untouched when jitter is off).
+func (w *worker) jittered(descs []kernels.Desc) []kernels.Desc {
 	if w.jitter == 0 {
 		return descs
 	}
-	out := make([]kernels.Desc, len(descs))
+	if cap(w.descBuf) < len(descs) {
+		w.descBuf = make([]kernels.Desc, len(descs))
+	}
+	out := w.descBuf[:len(descs)]
 	for i, d := range descs {
 		f := 1 + w.jitter*(2*w.rng.Float64()-1)
 		d.Work.WGTime *= sim.Duration(f)

@@ -23,6 +23,11 @@ type Record struct {
 	MinCU int
 	// AllocatedCUs is the number of CUs in the granted resource mask.
 	AllocatedCUs int
+	// Attempt is the dispatch attempt that finally completed: 0 for a
+	// first-try success, >0 when the hardened runtime relaunched the kernel
+	// after transient failures. One record is emitted per seq regardless of
+	// how many attempts it took.
+	Attempt int
 	// Start and End bound the kernel's execution in virtual time.
 	Start, End sim.Time
 }
@@ -47,7 +52,7 @@ func (t *Trace) Records() []Record { return t.records }
 // WriteCSV emits the trace with a header row.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"seq", "kernel", "workgroups", "min_cu", "allocated_cus", "start_us", "end_us"}); err != nil {
+	if err := cw.Write([]string{"seq", "kernel", "workgroups", "min_cu", "allocated_cus", "attempt", "start_us", "end_us"}); err != nil {
 		return fmt.Errorf("trace: writing header: %w", err)
 	}
 	for _, r := range t.records {
@@ -57,6 +62,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.Workgroups),
 			strconv.Itoa(r.MinCU),
 			strconv.Itoa(r.AllocatedCUs),
+			strconv.Itoa(r.Attempt),
 			strconv.FormatFloat(float64(r.Start), 'f', 3, 64),
 			strconv.FormatFloat(float64(r.End), 'f', 3, 64),
 		}

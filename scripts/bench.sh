@@ -1,81 +1,92 @@
 #!/usr/bin/env sh
-# scripts/bench.sh — regenerate BENCH_PR2.json, the performance record for
-# the allocation-lean engine + parallel harness PR.
+# scripts/bench.sh — regenerate BENCH_PR3.json, the performance record for
+# the zero-allocation kernel dispatch fast path PR.
 #
-# Runs the internal/sim microbenchmarks (benchstat-compatible output is
-# left in /tmp/krisp_bench_sim.txt) and times the table4 grid experiment
-# serially and with a parallel fan-out, then writes the numbers to
-# BENCH_PR2.json at the repo root.
+# Runs the dispatch-path microbenchmarks (alloc mask generation, hsa
+# steady-state dispatch, gpu launch cycle, server serving loop;
+# benchstat-compatible output is left in /tmp/krisp_bench_dispatch.txt)
+# and times the table4 grid experiment serially and with a parallel
+# fan-out plus the fig15 mixed-model grid, then writes the numbers to
+# BENCH_PR3.json at the repo root.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 1s per benchmark)
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-1s}"
-simtxt=/tmp/krisp_bench_sim.txt
-out=BENCH_PR2.json
+benchtxt=/tmp/krisp_bench_dispatch.txt
+out=BENCH_PR3.json
 
-echo "== internal/sim microbenchmarks (benchtime=$benchtime) =="
-go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" ./internal/sim | tee "$simtxt"
+echo "== dispatch-path microbenchmarks (benchtime=$benchtime) =="
+go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" \
+    ./internal/alloc ./internal/hsa ./internal/gpu ./internal/server | tee "$benchtxt"
 
-# Pull "name ns/op allocs/op" triples out of the benchmark output.
+# Pull "name ns/op allocs/op" pairs out of the benchmark output.
 bench_field() { # $1 = benchmark name, $2 = column header suffix (ns/op | allocs/op)
     awk -v name="Benchmark$1" -v unit="$2" '
         $1 ~ "^"name"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == unit) { print $i; exit } }
-    ' "$simtxt"
+    ' "$benchtxt"
 }
 
 go build -o /tmp/krisp-bench-measure ./cmd/krisp-bench
 
-grid_ms() { # $1 = parallel workers
+grid_ms() { # $1 = experiment id, $2 = parallel workers
     s=$(date +%s%N)
-    /tmp/krisp-bench-measure -exp table4 -quick -parallel "$1" > /dev/null
+    /tmp/krisp-bench-measure -exp "$1" -quick -parallel "$2" > /dev/null
     t=$(date +%s%N)
     echo $(( (t - s) / 1000000 ))
 }
 
 echo "== table4 -quick grid, serial =="
-serial_ms=$(grid_ms 1)
+serial_ms=$(grid_ms table4 1)
 echo "${serial_ms} ms"
 workers=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)
 # Exercise the fan-out path even on small hosts.
 [ "$workers" -lt 4 ] && workers=4
 echo "== table4 -quick grid, parallel ($workers workers) =="
-par_ms=$(grid_ms "$workers")
+par_ms=$(grid_ms table4 "$workers")
 echo "${par_ms} ms"
+echo "== fig15 -quick grid, parallel ($workers workers) =="
+fig15_ms=$(grid_ms fig15 "$workers")
+echo "${fig15_ms} ms"
 
-# Seed-era baselines, measured on the pre-PR engine with these same
-# benchmarks (see DESIGN.md §7). Kept as constants so the JSON shows the
-# trajectory without needing a checkout of the old engine.
-seed_atrun_ns=258.6;  seed_atrun_allocs=1
-seed_cancel_ns=68.65; seed_cancel_allocs=1
-seed_churn_ns=261.3;  seed_churn_allocs=1
-seed_grid_ms=5200
+# PR 2-era baselines, measured on this branch's parent with the same
+# benchmarks and host (see DESIGN.md §8). Kept as constants so the JSON
+# shows the trajectory without needing a checkout of the old tree.
+pr2_genmask_ns=1743;   pr2_genmask_allocs=18
+pr2_launch_ns=718.1;   pr2_launch_allocs=2
+pr2_serve_ns=1970000;  pr2_serve_allocs=21065
+pr2_table4_serial_ms=2823
 
 cat > "$out" <<EOF
 {
-  "pr": 2,
-  "title": "Parallel experiment harness + allocation-lean DES hot path",
-  "host_note": "measured on a single-core container (GOMAXPROCS=1): the parallel harness cannot beat serial wall-clock here; the grid speedup comes from the allocation-lean engine and gpu mask/device hot paths. On multi-core hosts -parallel N adds on top.",
+  "pr": 3,
+  "title": "Zero-allocation kernel dispatch fast path",
+  "host_note": "measured on a single-core container (GOMAXPROCS=1): grid speedups come from the dispatch fast path itself (allocator scratch reuse, mask cache, signal/exec pooling, shared profile DB), not parallelism. On multi-core hosts -parallel N adds on top.",
   "microbenchmarks": {
     "unit": {"time": "ns/op", "allocs": "allocs/op"},
-    "seed": {
-      "AtRun":            {"time": $seed_atrun_ns,  "allocs": $seed_atrun_allocs},
-      "CancelReschedule": {"time": $seed_cancel_ns, "allocs": $seed_cancel_allocs},
-      "Churn":            {"time": $seed_churn_ns,  "allocs": $seed_churn_allocs}
+    "pr2": {
+      "alloc.GenerateMask":        {"time": $pr2_genmask_ns, "allocs": $pr2_genmask_allocs},
+      "gpu.LaunchCompleteCycle":   {"time": $pr2_launch_ns,  "allocs": $pr2_launch_allocs},
+      "server.ServeOneBatchKRISP": {"time": $pr2_serve_ns,   "allocs": $pr2_serve_allocs}
     },
     "now": {
-      "AtRun":            {"time": $(bench_field AtRun ns/op),            "allocs": $(bench_field AtRun allocs/op)},
-      "CancelReschedule": {"time": $(bench_field CancelReschedule ns/op), "allocs": $(bench_field CancelReschedule allocs/op)},
-      "Churn":            {"time": $(bench_field Churn ns/op),            "allocs": $(bench_field Churn allocs/op)}
+      "alloc.GenerateMask":        {"time": $(bench_field GenerateMask ns/op),        "allocs": $(bench_field GenerateMask allocs/op)},
+      "alloc.MaskCacheIdleHit":    {"time": $(bench_field MaskCacheIdleHit ns/op),    "allocs": $(bench_field MaskCacheIdleHit allocs/op)},
+      "alloc.MaskCacheBusyHit":    {"time": $(bench_field MaskCacheBusyHit ns/op),    "allocs": $(bench_field MaskCacheBusyHit allocs/op)},
+      "hsa.Dispatch":              {"time": $(bench_field Dispatch ns/op),            "allocs": $(bench_field Dispatch allocs/op)},
+      "hsa.DispatchPassthrough":   {"time": $(bench_field DispatchPassthrough ns/op), "allocs": $(bench_field DispatchPassthrough allocs/op)},
+      "gpu.LaunchCompleteCycle":   {"time": $(bench_field LaunchCompleteCycle ns/op), "allocs": $(bench_field LaunchCompleteCycle allocs/op)},
+      "server.ServeOneBatchKRISP": {"time": $(bench_field ServeOneBatchKRISP ns/op),  "allocs": $(bench_field ServeOneBatchKRISP allocs/op)}
     }
   },
   "grid": {
     "experiment": "table4 -quick",
-    "seed_serial_ms": $seed_grid_ms,
+    "pr2_serial_ms": $pr2_table4_serial_ms,
     "serial_ms": $serial_ms,
     "parallel_ms": $par_ms,
-    "parallel_workers": $workers
+    "parallel_workers": $workers,
+    "fig15_parallel_ms": $fig15_ms
   }
 }
 EOF

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# scripts/profile.sh — capture pprof CPU and heap profiles of krisp-bench.
+#
+# Builds cmd/krisp-bench and runs the given experiment (default: the
+# table4 -quick grid, the dispatch-path stress test) with -cpuprofile and
+# -memprofile, then prints the top entries of each profile so hot spots
+# are visible without leaving the terminal. The raw profiles stay in
+# /tmp/krisp_{cpu,mem}.pprof for interactive `go tool pprof` sessions.
+#
+# Usage: scripts/profile.sh [experiment] [extra krisp-bench flags...]
+set -eu
+
+cd "$(dirname "$0")/.."
+exp="${1:-table4}"
+[ $# -gt 0 ] && shift
+
+cpu=/tmp/krisp_cpu.pprof
+mem=/tmp/krisp_mem.pprof
+bin=/tmp/krisp-bench-profile
+
+go build -o "$bin" ./cmd/krisp-bench
+
+echo "== profiling: $bin -exp $exp -quick -cpuprofile $cpu -memprofile $mem $* =="
+"$bin" -exp "$exp" -quick -cpuprofile "$cpu" -memprofile "$mem" "$@" > /dev/null
+
+echo
+echo "== top CPU (cumulative) =="
+go tool pprof -top -cum -nodecount 15 "$bin" "$cpu" | sed -n '1,25p'
+echo
+echo "== top heap (alloc_space) =="
+go tool pprof -top -sample_index=alloc_space -nodecount 15 "$bin" "$mem" | sed -n '1,25p'
+echo
+echo "profiles: $cpu $mem  (open with: go tool pprof $bin $cpu)"
