@@ -11,6 +11,7 @@
 //	krisp-bench -list               # list experiment ids
 //	krisp-bench -cpuprofile p.out   # write a pprof CPU profile
 //	krisp-bench -memprofile m.out   # write a pprof heap profile at exit
+//	krisp-bench -trace out.json     # write a Chrome trace (load in Perfetto)
 //
 // Grid experiments (table4, fig13a/b/c, fig14, fig15, fig16) fan their
 // independent simulation cells across -parallel workers; every cell owns
@@ -27,17 +28,19 @@ import (
 	"time"
 
 	"krisp/internal/bench"
+	"krisp/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id(s), comma-separated, or 'all'")
-		quick   = flag.Bool("quick", false, "shrink sweeps and model sets for a fast run")
-		seed    = flag.Int64("seed", 42, "simulation jitter seed")
-		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for grid experiments (1 = serial)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		exp      = flag.String("exp", "all", "experiment id(s), comma-separated, or 'all'")
+		quick    = flag.Bool("quick", false, "shrink sweeps and model sets for a fast run")
+		seed     = flag.Int64("seed", 42, "simulation jitter seed")
+		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for grid experiments (1 = serial)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the runs to this file")
 	)
 	flag.Parse()
 
@@ -82,7 +85,12 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 
-	h := bench.New(bench.Options{Seed: *seed, Quick: *quick, Parallel: *par})
+	var hub *telemetry.Hub
+	if *traceOut != "" {
+		hub = telemetry.NewHub(true)
+	}
+
+	h := bench.New(bench.Options{Seed: *seed, Quick: *quick, Parallel: *par, Telemetry: hub})
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
@@ -91,5 +99,19 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("[%s completed in %.1fs]\n", id, time.Since(start).Seconds())
+	}
+
+	if hub != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := hub.Trace().WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("[wrote %d trace events to %s]\n", hub.Trace().Len(), *traceOut)
 	}
 }

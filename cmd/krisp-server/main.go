@@ -6,6 +6,11 @@
 //	krisp-server -model squeezenet -workers 4 -policy krisp-i
 //	krisp-server -model albert,vgg19 -policy model-right-size
 //	krisp-server -model resnet152 -workers 2 -policy krisp-i -trace trace.csv
+//	krisp-server -model resnet152 -workers 2 -policy krisp-i -trace out.json
+//
+// A -trace path ending in .json writes a Chrome trace-event file of the
+// full telemetry span timeline (load it in Perfetto or chrome://tracing);
+// any other extension writes worker 0's kernel trace CSV.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"krisp/internal/models"
 	"krisp/internal/policies"
 	"krisp/internal/server"
+	"krisp/internal/telemetry"
 	"krisp/internal/trace"
 )
 
@@ -28,7 +34,7 @@ func main() {
 		batch     = flag.Int("batch", models.CalibrationBatch, "request batch size")
 		seed      = flag.Int64("seed", 42, "jitter seed")
 		emulate   = flag.Bool("emulate", false, "use the emulated (stream-masking) KRISP path instead of native support")
-		traceOut  = flag.String("trace", "", "write worker 0's kernel trace CSV to this path")
+		traceOut  = flag.String("trace", "", "trace output path: .json = Chrome trace-event JSON, else kernel trace CSV")
 		gpus      = flag.Int("gpus", 1, "number of devices (workers spread round-robin)")
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed-loop max load)")
 	)
@@ -52,9 +58,15 @@ func main() {
 		}
 	}
 
+	chromeTrace := strings.HasSuffix(*traceOut, ".json")
 	var tr *trace.Trace
+	var hub *telemetry.Hub
 	if *traceOut != "" {
-		tr = &trace.Trace{}
+		if chromeTrace {
+			hub = telemetry.NewHub(true)
+		} else {
+			tr = &trace.Trace{}
+		}
 	}
 
 	cfg := server.Config{
@@ -64,6 +76,7 @@ func main() {
 		Seed:           *seed,
 		ForceEmulation: *emulate,
 		Trace:          tr,
+		Telemetry:      hub,
 	}
 	var res server.Result
 	if *rate > 0 {
@@ -104,5 +117,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d kernel trace records to %s\n", tr.Len(), *traceOut)
+	}
+	if hub != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := hub.Trace().WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d trace events to %s (open in Perfetto)\n", hub.Trace().Len(), *traceOut)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"krisp/internal/policies"
 	"krisp/internal/server"
 	"krisp/internal/sim"
+	"krisp/internal/telemetry"
 )
 
 // newEngine returns a fresh simulation engine for closed-form experiments.
@@ -51,6 +52,11 @@ type Options struct {
 	// shared mutable state — so any worker count produces byte-identical
 	// output; Parallel only changes wall-clock time.
 	Parallel int
+	// Telemetry, when non-nil, is attached to every simulation the harness
+	// runs so experiment sweeps feed the metrics registry and (if the hub
+	// carries a tracer) the Chrome trace. Telemetry only observes — cell
+	// output is byte-identical with or without it.
+	Telemetry *telemetry.Hub
 }
 
 // DefaultOptions returns the settings used for the published tables.

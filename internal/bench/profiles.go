@@ -95,6 +95,11 @@ func (s *profileStore) get(spec gpu.DeviceSpec, m models.Model, batch int) *prof
 // with — so cell output is byte-identical with or without the store
 // (enforced by TestSharedProfilesMatchUnshared).
 func (h *Harness) applyProfiles(cfg *server.Config) {
+	// Telemetry rides along with profile injection because this is the one
+	// hook every experiment's server.Config passes through.
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = h.opts.Telemetry
+	}
 	if h.noProfileShare {
 		return
 	}

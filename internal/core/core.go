@@ -136,6 +136,11 @@ type Config struct {
 	Policy alloc.Policy
 	// Trace, when non-nil, records every kernel launch.
 	Trace *trace.Trace
+	// Device is the GPU index this runtime dispatches to, stamped into
+	// trace records and telemetry so multi-GPU runs stay attributable.
+	Device int
+	// Telemetry, when non-nil, receives right-sizing and ladder metrics.
+	Telemetry *Telemetry
 	// Hardening, when non-nil, enables the robust serving path (retry +
 	// degradation ladder) for chaos runs.
 	Hardening *Hardening
@@ -198,6 +203,7 @@ func (rt *Runtime) Widen() bool {
 		rt.degradedSince = rt.eng.Now()
 	}
 	rt.level++
+	rt.cfg.Telemetry.noteLadder(rt.queue.ID, rt.level, true, rt.eng.Now())
 	switch rt.level {
 	case LadderStreamScoped:
 		h.Stats.StreamFallbacks++
@@ -217,6 +223,7 @@ func (rt *Runtime) Tighten() bool {
 		return false
 	}
 	rt.level--
+	rt.cfg.Telemetry.noteLadder(rt.queue.ID, rt.level, false, rt.eng.Now())
 	h.Stats.LadderTightenings++
 	if rt.level == LadderKernelScoped {
 		h.Stats.DegradedTime += rt.eng.Now() - rt.degradedSince
@@ -257,6 +264,7 @@ func (rt *Runtime) LaunchKernel(d kernels.Desc, onDone func()) {
 		rt.submit(seq, d, 0, onDone)
 	case ModeNative:
 		partition := rt.rs.Size(d)
+		rt.cfg.Telemetry.noteDecision(rt.queue.ID, partition, rt.eng.Now())
 		if rt.level > LadderKernelScoped {
 			// Degraded: suspend per-kernel masking; the kernel inherits
 			// the stream mask (full GPU at the bottom rung).
@@ -304,12 +312,18 @@ func (rt *Runtime) onFaultFor(seq int, d kernels.Desc, partition, attempt int, r
 	return func() {
 		if attempt >= h.MaxRetries {
 			h.Stats.KernelsAbandoned++
+			if t := rt.cfg.Telemetry; t != nil {
+				t.Abandoned.Inc()
+			}
 			if onDone != nil {
 				onDone()
 			}
 			return
 		}
 		h.Stats.KernelRetries++
+		if t := rt.cfg.Telemetry; t != nil {
+			t.Retries.Inc()
+		}
 		backoff := h.RetryBackoff * sim.Duration(int64(1)<<uint(attempt))
 		rt.eng.After(backoff, func() {
 			rt.submitAttempt(seq, d, partition, attempt+1, rec, onDone)
@@ -336,6 +350,8 @@ func (rt *Runtime) submitAttempt(seq int, d kernels.Desc, partition, attempt int
 					MinCU:        partition,
 					AllocatedCUs: granted.Count(),
 					Attempt:      attempt,
+					Queue:        rt.queue.ID,
+					Device:       rt.cfg.Device,
 					Start:        start,
 					End:          rt.eng.Now(),
 				})
@@ -383,6 +399,7 @@ func (rt *Runtime) launchEmulated(seq int, d kernels.Desc, onDone func()) {
 	// kernel-wise right-sizing and queue mask reconfiguration.
 	rt.queue.SubmitBarrier(nil, func() {
 		size := rt.rs.Size(d)
+		rt.cfg.Telemetry.noteDecision(rt.queue.ID, size, rt.eng.Now())
 		mask := rt.cp.GenerateKernelMask(alloc.Request{
 			NumCUs:       size,
 			OverlapLimit: rt.cfg.OverlapLimit,

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	tele "krisp/internal/telemetry"
+)
+
+// Telemetry holds the runtime's metric handles — right-sizing decisions and
+// degradation-ladder movement — resolved once at stack construction. All
+// handles are nil-safe; a nil *Telemetry on Config disables everything.
+type Telemetry struct {
+	// Decisions counts kernel-wise right-sizing decisions made.
+	Decisions *tele.Counter
+	// PartitionCUs is the distribution of decided partition sizes.
+	PartitionCUs *tele.Histogram
+	// Widenings and Tightenings count degradation-ladder transitions.
+	Widenings   *tele.Counter
+	Tightenings *tele.Counter
+	// Retries counts kernel relaunch attempts after transient failures;
+	// Abandoned counts kernels given up past the retry bound.
+	Retries   *tele.Counter
+	Abandoned *tele.Counter
+
+	tracer *tele.Tracer
+	pid    int
+}
+
+// NewTelemetry resolves the runtime metric handles for GPU index gpu
+// against the hub. Returns nil when the hub carries no registry. Runtimes
+// sharing a GPU share the handles (the registry is get-or-register).
+func NewTelemetry(hub *tele.Hub, gpu int) *Telemetry {
+	reg := hub.Registry()
+	if reg == nil {
+		return nil
+	}
+	lbl := fmt.Sprintf(`{gpu="%d"}`, gpu)
+	return &Telemetry{
+		Decisions:    reg.Counter("krisp_core_rightsize_decisions_total"+lbl, "kernel-wise right-sizing decisions"),
+		PartitionCUs: reg.Histogram("krisp_core_partition_cus"+lbl, "decided partition sizes (CUs)", tele.CUBuckets()),
+		Widenings:    reg.Counter("krisp_core_ladder_widenings_total"+lbl, "degradation-ladder steps toward wider masks"),
+		Tightenings:  reg.Counter("krisp_core_ladder_tightenings_total"+lbl, "degradation-ladder steps back toward kernel scoping"),
+		Retries:      reg.Counter("krisp_core_kernel_retries_total"+lbl, "kernel relaunches after transient failures"),
+		Abandoned:    reg.Counter("krisp_core_kernels_abandoned_total"+lbl, "kernels abandoned past the retry bound"),
+		tracer:       hub.Trace(),
+		pid:          gpu,
+	}
+}
+
+// noteDecision records one right-sizing decision of size CUs on queue tid.
+func (t *Telemetry) noteDecision(tid, size int, now float64) {
+	if t == nil {
+		return
+	}
+	t.Decisions.Inc()
+	t.PartitionCUs.Observe(float64(size))
+	t.tracer.Instant("core", "rightsize", t.pid, tid, now, "cus", float64(size))
+}
+
+// noteLadder records one ladder transition to level on queue tid.
+func (t *Telemetry) noteLadder(tid, level int, widen bool, now float64) {
+	if t == nil {
+		return
+	}
+	name := "tighten"
+	if widen {
+		t.Widenings.Inc()
+		name = "widen"
+	} else {
+		t.Tightenings.Inc()
+	}
+	t.tracer.Instant("core", name, t.pid, tid, now, "level", float64(level))
+}

@@ -173,6 +173,10 @@ type Injector struct {
 	eng   *sim.Engine
 	rng   *rand.Rand
 	Stats Stats
+	// tel, when non-nil, mirrors the Stats increments into live metrics.
+	// Telemetry only observes — it never draws from rng or schedules
+	// events, so enabling it cannot perturb the fault timeline.
+	tel *Telemetry
 }
 
 // NewInjector binds a plan to an engine. The plan is copied; defaults for
@@ -232,6 +236,9 @@ func (in *Injector) Arm(devs []*gpu.Device, cps []*hsa.CommandProcessor) {
 		schedule(k.At, func() {
 			if devs[k.GPU].KillCU(k.CU) {
 				in.Stats.CUKills++
+				if in.tel != nil {
+					in.tel.CUKills.Inc()
+				}
 			}
 		})
 	}
@@ -247,6 +254,9 @@ func (in *Injector) Arm(devs []*gpu.Device, cps []*hsa.CommandProcessor) {
 			}
 			dev.SetCUDegrade(dgr.CU, dgr.Stretch)
 			in.Stats.CUDegrades++
+			if in.tel != nil {
+				in.tel.CUDegrades.Inc()
+			}
 			if dgr.Duration > 0 {
 				in.eng.After(dgr.Duration, func() { dev.SetCUDegrade(dgr.CU, 0) })
 			}
@@ -264,6 +274,9 @@ func (in *Injector) Arm(devs []*gpu.Device, cps []*hsa.CommandProcessor) {
 			}
 			q.StallFor(st.Duration)
 			in.Stats.QueueStalls++
+			if in.tel != nil {
+				in.tel.QueueStalls.Inc()
+			}
 		})
 	}
 }
@@ -275,10 +288,16 @@ func (in *Injector) IOCTLOutcome() (fail bool, extra sim.Duration) {
 	f := in.plan.IOCTL
 	if f.FailProb > 0 && in.rng.Float64() < f.FailProb {
 		in.Stats.IOCTLFailures++
+		if in.tel != nil {
+			in.tel.IOCTLFailures.Inc()
+		}
 		return true, 0
 	}
 	if f.SlowProb > 0 && in.rng.Float64() < f.SlowProb {
 		in.Stats.IOCTLDelays++
+		if in.tel != nil {
+			in.tel.IOCTLDelays.Inc()
+		}
 		return false, f.SlowExtra
 	}
 	return false, 0
@@ -290,6 +309,9 @@ func (in *Injector) KernelOutcome() (stretch float64, fail bool) {
 	stretch = 1
 	if k.StragglerProb > 0 && in.rng.Float64() < k.StragglerProb {
 		in.Stats.KernelStragglers++
+		if in.tel != nil {
+			in.tel.KernelStragglers.Inc()
+		}
 		stretch = k.StragglerStretch
 		if stretch <= 1 {
 			stretch = 4
@@ -297,10 +319,18 @@ func (in *Injector) KernelOutcome() (stretch float64, fail bool) {
 	}
 	if k.TransientFailProb > 0 && in.rng.Float64() < k.TransientFailProb {
 		in.Stats.KernelTransientFailures++
+		if in.tel != nil {
+			in.tel.KernelFailures.Inc()
+		}
 		fail = true
 	}
 	return stretch, fail
 }
 
 // NoteHealthRemask implements hsa.FaultHook.
-func (in *Injector) NoteHealthRemask() { in.Stats.HealthRemasks++ }
+func (in *Injector) NoteHealthRemask() {
+	in.Stats.HealthRemasks++
+	if in.tel != nil {
+		in.tel.HealthRemasks.Inc()
+	}
+}

@@ -1,0 +1,40 @@
+package faults
+
+import tele "krisp/internal/telemetry"
+
+// Telemetry mirrors the injected-fault Stats counters into the metrics
+// registry so live scrapes can see fault pressure without waiting for the
+// run's report. One set per injector (faults are planned per run, not per
+// GPU); a nil *Telemetry disables everything.
+type Telemetry struct {
+	CUKills          *tele.Counter
+	CUDegrades       *tele.Counter
+	QueueStalls      *tele.Counter
+	IOCTLFailures    *tele.Counter
+	IOCTLDelays      *tele.Counter
+	KernelStragglers *tele.Counter
+	KernelFailures   *tele.Counter
+	HealthRemasks    *tele.Counter
+}
+
+// NewTelemetry resolves the fault counters against the hub. Returns nil
+// when the hub carries no registry.
+func NewTelemetry(hub *tele.Hub) *Telemetry {
+	reg := hub.Registry()
+	if reg == nil {
+		return nil
+	}
+	return &Telemetry{
+		CUKills:          reg.Counter("krisp_faults_cu_kills_total", "CU kills injected"),
+		CUDegrades:       reg.Counter("krisp_faults_cu_degrades_total", "CU degradations injected"),
+		QueueStalls:      reg.Counter("krisp_faults_queue_stalls_total", "queue stalls injected"),
+		IOCTLFailures:    reg.Counter("krisp_faults_ioctl_failures_total", "CU-mask IOCTL failures injected"),
+		IOCTLDelays:      reg.Counter("krisp_faults_ioctl_delays_total", "CU-mask IOCTL latency spikes injected"),
+		KernelStragglers: reg.Counter("krisp_faults_kernel_stragglers_total", "kernel stragglers injected"),
+		KernelFailures:   reg.Counter("krisp_faults_kernel_failures_total", "transient kernel failures injected"),
+		HealthRemasks:    reg.Counter("krisp_faults_health_remasks_total", "dispatch masks shrunk around dead CUs"),
+	}
+}
+
+// SetTelemetry installs (or removes, with nil) the injector's telemetry.
+func (in *Injector) SetTelemetry(t *Telemetry) { in.tel = t }

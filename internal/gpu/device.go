@@ -162,6 +162,11 @@ type Device struct {
 	// execFree recycles completed Exec objects so steady-state launches
 	// allocate nothing.
 	execFree []*Exec
+	// tel, when non-nil, receives occupancy/launch/health telemetry. The
+	// handles inside are resolved once at construction (see telemetry.go);
+	// with telemetry disabled this stays nil and costs one check per
+	// charge/release.
+	tel *Telemetry
 
 	// busyIntegral accumulates busyCUs x time for utilization reporting.
 	busyIntegral float64
@@ -220,6 +225,10 @@ func (d *Device) KillCU(cu int) bool {
 	d.accumulateBusy()
 	d.healthy = d.healthy.Clear(cu)
 	d.allHealthy = false
+	if t := d.tel; t != nil {
+		t.CUKills.Inc()
+		t.HealthyCUs.Set(int64(d.healthy.Count()))
+	}
 	for x := range d.running {
 		if !x.mask.Has(cu) {
 			continue
@@ -303,6 +312,7 @@ func (d *Device) chargeExec(m CUMask, pressure float64) {
 	for w := m.hi; w != 0; w &= w - 1 {
 		d.chargeCU(64+bits.TrailingZeros64(w), pressure)
 	}
+	d.publishOccupancy()
 }
 
 func (d *Device) chargeCU(cu int, pressure float64) {
@@ -322,6 +332,7 @@ func (d *Device) releaseExec(m CUMask, pressure float64) {
 	for w := m.hi; w != 0; w &= w - 1 {
 		d.releaseCU(64+bits.TrailingZeros64(w), pressure)
 	}
+	d.publishOccupancy()
 }
 
 func (d *Device) releaseCU(cu int, pressure float64) {
@@ -383,6 +394,9 @@ func (d *Device) Launch(work KernelWork, mask CUMask, onDone func()) *Exec {
 		}
 	}
 	d.accumulateBusy()
+	if t := d.tel; t != nil {
+		t.Launches.Inc()
+	}
 	d.nextID++
 	var x *Exec
 	if n := len(d.execFree); n > 0 {
@@ -441,6 +455,9 @@ func (d *Device) complete(x *Exec) {
 func (d *Device) observe() {
 	if d.meter != nil {
 		d.meter.ObserveState(d.eng.Now(), d.BusyCUs(), len(d.running))
+	}
+	if t := d.tel; t != nil {
+		t.RunningKernels.Set(int64(len(d.running)))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"krisp/internal/gpu"
 	"krisp/internal/kernels"
 	"krisp/internal/sim"
+	tele "krisp/internal/telemetry"
 )
 
 func dispatchStack(kernelScoped bool) (*sim.Engine, *Queue) {
@@ -14,6 +15,22 @@ func dispatchStack(kernelScoped bool) (*sim.Engine, *Queue) {
 	cfg := DefaultConfig()
 	cfg.KernelScoped = kernelScoped
 	cp := NewCommandProcessor(eng, dev, cfg)
+	return eng, cp.NewQueue()
+}
+
+// telemetryStack is dispatchStack with metrics enabled on both the device
+// and the command processor — the configuration the zero-alloc guard below
+// must hold under. No tracer: span tracing records events and is excluded
+// from the 0 allocs/op contract by design.
+func telemetryStack(kernelScoped bool) (*sim.Engine, *Queue) {
+	eng := sim.New()
+	hub := tele.NewHub(false)
+	dev := gpu.NewDevice(eng, gpu.MI50Spec(), nil)
+	dev.SetTelemetry(gpu.NewTelemetry(hub, gpu.MI50, 0))
+	cfg := DefaultConfig()
+	cfg.KernelScoped = kernelScoped
+	cp := NewCommandProcessor(eng, dev, cfg)
+	cp.SetTelemetry(NewTelemetry(hub, 0))
 	return eng, cp.NewQueue()
 }
 
@@ -54,15 +71,45 @@ func BenchmarkDispatchPassthrough(b *testing.B) {
 	}
 }
 
+// BenchmarkDispatchWithTelemetry is BenchmarkDispatch with device and
+// processor metrics enabled: queue depth, dispatch counters, wait
+// histograms, occupancy gauges. The number to watch is allocs/op — it must
+// stay 0 (TestDispatchZeroAllocs asserts it), so future instrumentation
+// cannot regress the fast path.
+func BenchmarkDispatchWithTelemetry(b *testing.B) {
+	eng, q := telemetryStack(true)
+	for i := 0; i < 8; i++ {
+		q.SubmitKernelScoped(benchDesc, 22, 0, nil)
+		eng.Run()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.SubmitKernelScoped(benchDesc, 22, 0, nil)
+		eng.Run()
+	}
+}
+
 // TestDispatchZeroAllocs pins the fast-path property the benchmarks
-// report: a warm steady-state dispatch — kernel-scoped or passthrough —
-// allocates nothing.
+// report: a warm steady-state dispatch — kernel-scoped or passthrough,
+// with or without telemetry — allocates nothing.
 func TestDispatchZeroAllocs(t *testing.T) {
 	for _, tc := range []struct {
-		name   string
-		scoped bool
-	}{{"kernel-scoped", true}, {"passthrough", false}} {
-		eng, q := dispatchStack(tc.scoped)
+		name      string
+		scoped    bool
+		telemetry bool
+	}{
+		{"kernel-scoped", true, false},
+		{"passthrough", false, false},
+		{"kernel-scoped+telemetry", true, true},
+		{"passthrough+telemetry", false, true},
+	} {
+		var eng *sim.Engine
+		var q *Queue
+		if tc.telemetry {
+			eng, q = telemetryStack(tc.scoped)
+		} else {
+			eng, q = dispatchStack(tc.scoped)
+		}
 		submit := func() {
 			if tc.scoped {
 				q.SubmitKernelScoped(benchDesc, 22, 0, nil)

@@ -160,6 +160,10 @@ type Packet struct {
 	// packet without an OnFault handler swallows the failure and completes
 	// normally, so untracked callers can never deadlock on a lost signal.
 	OnFault func()
+
+	// enqueuedAt is stamped by Submit (doorbell time) so telemetry can
+	// report doorbell-to-dispatch latency and queue-wait spans.
+	enqueuedAt sim.Time
 }
 
 // FaultHook is the injection surface the command processor consults when
@@ -235,6 +239,10 @@ type CommandProcessor struct {
 	nextQueueID int
 	queues      []*Queue
 	faults      FaultHook
+	// tel, when non-nil, receives dispatch/IOCTL/queue telemetry. Handles
+	// are resolved once (see telemetry.go); a disabled run keeps this nil
+	// and pays one pointer check per packet.
+	tel *Telemetry
 
 	// DispatchCount counts kernels launched (for tests and stats).
 	DispatchCount int
@@ -380,6 +388,11 @@ type Queue struct {
 	curKernelScoped bool
 	curFaulted      bool
 	barrierWaits    int
+	// curConsumedAt/curDispatchedAt mark when the in-flight packet was
+	// consumed from the ring and handed to the device — the span
+	// boundaries telemetry reports. Maintained only when telemetry is on.
+	curConsumedAt   sim.Time
+	curDispatchedAt sim.Time
 
 	// Pre-bound method values, created once in NewQueue, so the dispatch
 	// path schedules and registers callbacks without allocating closures.
@@ -408,6 +421,7 @@ func (cp *CommandProcessor) NewQueue() *Queue {
 	q.barrierFn = q.barrierReady
 	q.barrierDepFn = q.barrierDepDone
 	cp.queues = append(cp.queues, q)
+	cp.tel.nameQueue(q.ID)
 	return q
 }
 
@@ -444,12 +458,18 @@ func (q *Queue) SetCUMaskChecked(mask gpu.CUMask, onApplied func(err error)) {
 	if cp.faults != nil {
 		fail, extra = cp.faults.IOCTLOutcome()
 	}
-	start := cp.eng.Now()
+	now := cp.eng.Now()
+	start := now
 	if cp.ioctlFreeAt > start {
 		start = cp.ioctlFreeAt
 	}
 	applyAt := start + cp.cfg.IOCTLLatency + extra
 	cp.ioctlFreeAt = applyAt
+	if t := cp.tel; t != nil {
+		t.IOCTLs.Inc()
+		t.IOCTLLatency.Observe(applyAt - now)
+		t.tracer.Span("hsa", "cu_mask_ioctl", t.pid, q.ID, start, applyAt)
+	}
 	cp.eng.At(applyAt, func() {
 		if fail {
 			if onApplied != nil {
@@ -508,6 +528,10 @@ func (q *Queue) ResetStall() bool {
 
 // Submit enqueues a packet and rings the doorbell.
 func (q *Queue) Submit(p Packet) {
+	p.enqueuedAt = q.cp.eng.Now()
+	if t := q.cp.tel; t != nil {
+		t.QueueDepth.Add(1)
+	}
 	q.packets = append(q.packets, p)
 	q.pump()
 }
@@ -566,6 +590,10 @@ func (q *Queue) pump() {
 	q.cur = q.packets[q.head]
 	q.packets[q.head] = Packet{} // release the slot's references
 	q.head++
+	if t := q.cp.tel; t != nil {
+		t.QueueDepth.Add(-1)
+		q.curConsumedAt = q.cp.eng.Now()
+	}
 	if q.head == len(q.packets) {
 		q.packets = q.packets[:0]
 		q.head = 0
@@ -636,6 +664,17 @@ func (q *Queue) dispatchCur() {
 		q.curFaulted = fail
 	}
 	cp.DispatchCount++
+	if t := cp.tel; t != nil {
+		now := cp.eng.Now()
+		t.Dispatches.Inc()
+		t.DispatchWait.Observe(now - p.enqueuedAt)
+		if tr := t.tracer; tr != nil {
+			tr.Span("hsa", "queue_wait", t.pid, q.ID, p.enqueuedAt, q.curConsumedAt)
+			tr.SpanArg("hsa", "packet_process", t.pid, q.ID, q.curConsumedAt, now,
+				"mask_cus", float64(mask.Count()))
+		}
+		q.curDispatchedAt = now
+	}
 	if p.OnDispatch != nil {
 		p.OnDispatch(mask)
 	}
@@ -645,6 +684,11 @@ func (q *Queue) dispatchCur() {
 // kernelDone finishes the in-flight kernel packet: completion (or the
 // fault route), then the next packet.
 func (q *Queue) kernelDone() {
+	if t := q.cp.tel; t != nil {
+		if tr := t.tracer; tr != nil {
+			tr.Span("kernel", q.cur.Kernel.Name, t.pid, q.ID, q.curDispatchedAt, q.cp.eng.Now())
+		}
+	}
 	onFault := q.cur.OnFault
 	completion := q.cur.Completion
 	faulted := q.curFaulted
@@ -696,6 +740,12 @@ func (q *Queue) barrierDepDone() {
 // finishBarrier consumes the in-flight barrier packet: callback,
 // completion, then the next packet.
 func (q *Queue) finishBarrier() {
+	if t := q.cp.tel; t != nil {
+		t.Barriers.Inc()
+		if tr := t.tracer; tr != nil {
+			tr.Span("hsa", "barrier", t.pid, q.ID, q.curConsumedAt, q.cp.eng.Now())
+		}
+	}
 	callback := q.cur.Callback
 	completion := q.cur.Completion
 	q.cur = Packet{}

@@ -1,0 +1,65 @@
+package hsa
+
+import (
+	"fmt"
+
+	tele "krisp/internal/telemetry"
+)
+
+// Telemetry holds the command processor's metric handles, resolved once at
+// stack construction. The dispatch pump reads them through a single nil
+// check per packet; every write is one atomic op, so the zero-alloc fast
+// path (see package doc) is preserved with counters enabled. The tracer is
+// the only allocating consumer and is nil unless span tracing was requested.
+type Telemetry struct {
+	// Dispatches counts kernel packets handed to the device.
+	Dispatches *tele.Counter
+	// Barriers counts barrier-AND packets consumed.
+	Barriers *tele.Counter
+	// IOCTLs counts CU-mask IOCTL syscalls issued.
+	IOCTLs *tele.Counter
+	// QueueDepth is the number of packets waiting across all queues of the
+	// processor (submitted, not yet consumed).
+	QueueDepth *tele.Gauge
+	// DispatchWait is the doorbell-to-dispatch latency: from Submit to the
+	// device launch, including queue serialization and packet processing.
+	DispatchWait *tele.Histogram
+	// IOCTLLatency is the caller-observed CU-mask IOCTL latency, including
+	// the global serialization wait.
+	IOCTLLatency *tele.Histogram
+
+	tracer *tele.Tracer
+	pid    int
+}
+
+// NewTelemetry resolves the HSA metric handles for GPU index gpu against
+// the hub. Returns nil when the hub carries no registry.
+func NewTelemetry(hub *tele.Hub, gpu int) *Telemetry {
+	reg := hub.Registry()
+	if reg == nil {
+		return nil
+	}
+	lbl := fmt.Sprintf(`{gpu="%d"}`, gpu)
+	return &Telemetry{
+		Dispatches:   reg.Counter("krisp_hsa_dispatches_total"+lbl, "kernel packets dispatched to the device"),
+		Barriers:     reg.Counter("krisp_hsa_barriers_total"+lbl, "barrier-AND packets consumed"),
+		IOCTLs:       reg.Counter("krisp_hsa_ioctls_total"+lbl, "CU-mask IOCTL syscalls issued"),
+		QueueDepth:   reg.Gauge("krisp_hsa_queue_depth"+lbl, "packets waiting across all queues"),
+		DispatchWait: reg.Histogram("krisp_hsa_dispatch_wait_us"+lbl, "doorbell-to-dispatch latency (virtual us)", tele.LatencyBucketsUs()),
+		IOCTLLatency: reg.Histogram("krisp_hsa_ioctl_latency_us"+lbl, "observed CU-mask IOCTL latency incl. serialization (virtual us)", tele.LatencyBucketsUs()),
+		tracer:       hub.Trace(),
+		pid:          gpu,
+	}
+}
+
+// SetTelemetry installs (or removes, with nil) the processor's telemetry.
+// Install it before creating queues so the trace names every queue thread.
+func (cp *CommandProcessor) SetTelemetry(t *Telemetry) { cp.tel = t }
+
+// nameQueue registers the Perfetto display name for a queue's trace rows.
+func (t *Telemetry) nameQueue(id int) {
+	if t == nil || t.tracer == nil {
+		return
+	}
+	t.tracer.NameThread(t.pid, id, fmt.Sprintf("hsa-queue-%d", id))
+}

@@ -22,6 +22,7 @@ import (
 	"krisp/internal/policies"
 	"krisp/internal/profile"
 	"krisp/internal/server"
+	"krisp/internal/telemetry"
 )
 
 // Handler returns the API router.
@@ -32,6 +33,8 @@ func Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", handleSimulate)
 	mux.HandleFunc("GET /v1/experiments", handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{id}", handleExperiment)
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /debug/telemetry", handleTelemetryDebug)
 	return mux
 }
 
@@ -166,6 +169,8 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		// seconds; honoring the request context lets a disconnecting client
 		// abandon it instead of burning the server.
 		Ctx: r.Context(),
+		// Feed the process-wide registry so GET /metrics sees this run live.
+		Telemetry: telemetry.DefaultHub(),
 	}
 	if req.Quick {
 		cfg.MeasureScale = 0.25

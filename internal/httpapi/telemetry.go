@@ -1,0 +1,22 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"krisp/internal/telemetry"
+)
+
+// handleMetrics serves the process-wide registry in the Prometheus text
+// exposition format. Simulations attach telemetry.DefaultHub(), so a scrape
+// during a running POST /v1/simulate sees live counters.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = telemetry.Default().WritePrometheus(w)
+}
+
+// handleTelemetryDebug serves the same registry as a JSON snapshot —
+// histogram buckets included — for humans and scripts that do not speak
+// the Prometheus format.
+func handleTelemetryDebug(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, telemetry.Default().Snapshot())
+}

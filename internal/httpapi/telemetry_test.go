@@ -1,0 +1,160 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// scrapeCounter extracts one counter's value from a Prometheus exposition body.
+func scrapeCounter(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("counter %s not found in scrape:\n%s", name, body)
+	return 0
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	// A simulation feeds the default registry; afterwards the scrape must
+	// carry the core KRISP series.
+	rec := post(t, "/v1/simulate",
+		`{"model":"squeezenet","policy":"krisp-i","workers":1,"quick":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("simulate status %d: %s", rec.Code, rec.Body)
+	}
+
+	m := get(t, "/metrics")
+	if m.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", m.Code)
+	}
+	if ct := m.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content-type %q", ct)
+	}
+	body := m.Body.String()
+	for _, want := range []string{
+		"# TYPE krisp_hsa_dispatches_total counter",
+		"krisp_gpu_busy_cus{gpu=\"0\"}",
+		"krisp_server_batch_latency_ms_bucket{model=\"squeezenet\",le=\"+Inf\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if v := scrapeCounter(t, body, `krisp_hsa_dispatches_total{gpu="0"}`); v <= 0 {
+		t.Errorf("dispatches counter %v, want > 0", v)
+	}
+}
+
+func TestMetricsCounterMonotonic(t *testing.T) {
+	body := `{"model":"squeezenet","policy":"krisp-i","workers":1,"quick":true}`
+	if rec := post(t, "/v1/simulate", body); rec.Code != http.StatusOK {
+		t.Fatalf("simulate status %d", rec.Code)
+	}
+	before := scrapeCounter(t, get(t, "/metrics").Body.String(),
+		`krisp_hsa_dispatches_total{gpu="0"}`)
+	if rec := post(t, "/v1/simulate", body); rec.Code != http.StatusOK {
+		t.Fatalf("simulate status %d", rec.Code)
+	}
+	after := scrapeCounter(t, get(t, "/metrics").Body.String(),
+		`krisp_hsa_dispatches_total{gpu="0"}`)
+	if after <= before {
+		t.Errorf("counter not monotonic across runs: before=%v after=%v", before, after)
+	}
+}
+
+func TestTelemetryDebugEndpoint(t *testing.T) {
+	if rec := post(t, "/v1/simulate",
+		`{"model":"squeezenet","policy":"krisp-i","workers":1,"quick":true}`); rec.Code != http.StatusOK {
+		t.Fatalf("simulate status %d", rec.Code)
+	}
+	rec := get(t, "/debug/telemetry")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/telemetry status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type %q", ct)
+	}
+	var snap []struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decoding snapshot: %v", err)
+	}
+	kinds := map[string]bool{}
+	found := false
+	for _, s := range snap {
+		kinds[s.Type] = true
+		if s.Name == `krisp_hsa_dispatches_total{gpu="0"}` {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("snapshot missing hsa dispatch counter")
+	}
+	for _, k := range []string{"counter", "gauge", "histogram"} {
+		if !kinds[k] {
+			t.Errorf("snapshot has no %s entries", k)
+		}
+	}
+}
+
+func TestTelemetryEndpointsRejectPOST(t *testing.T) {
+	for _, path := range []string{"/metrics", "/debug/telemetry"} {
+		if rec := post(t, path, ""); rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, rec.Code)
+		}
+	}
+}
+
+// TestMetricsScrapeUnderLoad hits /metrics repeatedly while an open-loop
+// simulation is writing to the shared registry from another goroutine.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		rec := post(t, "/v1/simulate",
+			`{"model":"squeezenet","policy":"krisp-i","workers":2,"quick":true,"rate_per_sec":1000}`)
+		if rec.Code != http.StatusOK {
+			t.Errorf("open-loop simulate status %d: %s", rec.Code, rec.Body)
+		}
+	}()
+	scrapes := 0
+	for {
+		select {
+		case <-done:
+			wg.Wait()
+			if scrapes == 0 {
+				t.Log("simulation finished before first scrape; scraping once after")
+				if rec := get(t, "/metrics"); rec.Code != http.StatusOK {
+					t.Errorf("post-run scrape status %d", rec.Code)
+				}
+			}
+			return
+		default:
+			rec := get(t, "/metrics")
+			if rec.Code != http.StatusOK {
+				t.Fatalf("scrape under load: status %d", rec.Code)
+			}
+			if !strings.Contains(rec.Body.String(), "# TYPE") {
+				t.Fatal("scrape under load returned no metrics")
+			}
+			scrapes++
+		}
+	}
+}

@@ -11,26 +11,32 @@ import (
 // Sample accumulates scalar observations (latencies, in microseconds).
 type Sample struct {
 	values []float64
-	sorted bool
+	// sorted is a lazily-built sorted copy of values, invalidated by Add.
+	// Percentile/Min/Max sort this private copy rather than the backing
+	// array itself, so slices handed out by Values keep insertion order.
+	sorted []float64
 }
 
 // Add records one observation.
 func (s *Sample) Add(v float64) {
 	s.values = append(s.values, v)
-	s.sorted = false
+	s.sorted = nil
 }
 
 // Len returns the number of observations.
 func (s *Sample) Len() int { return len(s.values) }
 
-// Values returns the raw observations (shared slice; do not mutate).
+// Values returns the raw observations in insertion order (shared slice; do
+// not mutate). Percentile queries never reorder it.
 func (s *Sample) Values() []float64 { return s.values }
 
-func (s *Sample) sortValues() {
-	if !s.sorted {
-		sort.Float64s(s.values)
-		s.sorted = true
+func (s *Sample) sortValues() []float64 {
+	if s.sorted == nil {
+		s.sorted = make([]float64, len(s.values))
+		copy(s.sorted, s.values)
+		sort.Float64s(s.sorted)
 	}
+	return s.sorted
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using linear
@@ -39,21 +45,21 @@ func (s *Sample) Percentile(p float64) float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
-	s.sortValues()
+	sorted := s.sortValues()
 	if p <= 0 {
-		return s.values[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return s.values[len(s.values)-1]
+		return sorted[len(sorted)-1]
 	}
-	rank := p / 100 * float64(len(s.values)-1)
+	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.values[lo]
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return s.values[lo]*(1-frac) + s.values[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // P95 returns the 95th percentile — the paper's tail-latency metric.
@@ -79,8 +85,7 @@ func (s *Sample) Min() float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
-	s.sortValues()
-	return s.values[0]
+	return s.sortValues()[0]
 }
 
 // Max returns the largest observation, 0 when empty.
@@ -88,8 +93,8 @@ func (s *Sample) Max() float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
-	s.sortValues()
-	return s.values[len(s.values)-1]
+	sorted := s.sortValues()
+	return sorted[len(sorted)-1]
 }
 
 // BoxStats is a five-number summary for boxplots (Fig. 15).

@@ -142,3 +142,31 @@ func TestGeomeanBoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPercentileKeepsValuesOrder is the regression test for the
+// shared-slice footgun: Percentile used to sort the backing array that
+// Values hands out, silently reordering caller-held slices. Sorting now
+// happens on a private copy.
+func TestPercentileKeepsValuesOrder(t *testing.T) {
+	var s Sample
+	in := []float64{5, 1, 4, 2, 3}
+	for _, v := range in {
+		s.Add(v)
+	}
+	held := s.Values()
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+	_ = s.Min()
+	_ = s.Max()
+	for i, v := range held {
+		if v != in[i] {
+			t.Fatalf("Values()[%d] = %v after Percentile, want %v (insertion order lost)", i, v, in[i])
+		}
+	}
+	// Adding after a percentile query must invalidate the sorted copy.
+	s.Add(0)
+	if got := s.Min(); got != 0 {
+		t.Errorf("Min after Add = %v, want 0", got)
+	}
+}

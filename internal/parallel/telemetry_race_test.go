@@ -1,0 +1,46 @@
+package parallel_test
+
+import (
+	"context"
+	"testing"
+
+	"krisp/internal/models"
+	"krisp/internal/parallel"
+	"krisp/internal/policies"
+	"krisp/internal/server"
+	"krisp/internal/telemetry"
+)
+
+// TestConcurrentSimulationsShareRegistry fans telemetry-enabled simulation
+// cells across the worker pool, all writing one shared registry and tracer
+// — the way bench grid experiments run with Options.Telemetry set. Under
+// -race this exercises every instrumented layer (gpu, hsa, core, server)
+// writing handles concurrently.
+func TestConcurrentSimulationsShareRegistry(t *testing.T) {
+	m, ok := models.ByName("squeezenet")
+	if !ok {
+		t.Fatal("squeezenet missing")
+	}
+	hub := telemetry.NewHub(true)
+	const cells = 8
+	_, err := parallel.Map(context.Background(), 8, cells,
+		func(ctx context.Context, i int) (int, error) {
+			res := server.Run(server.Config{
+				Policy:       policies.KRISPI,
+				Workers:      []server.WorkerSpec{{Model: m, Batch: 32}},
+				Seed:         int64(i),
+				MeasureScale: 0.25,
+				Telemetry:    hub,
+			})
+			return res.TotalRequests(), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := hub.Registry().Counter("krisp_hsa_dispatches_total{gpu=\"0\"}", "").Value(); v == 0 {
+		t.Error("no dispatches recorded")
+	}
+	if hub.Trace().CountCat("kernel") == 0 {
+		t.Error("no kernel spans recorded")
+	}
+}

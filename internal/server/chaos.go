@@ -5,6 +5,7 @@ import (
 	"krisp/internal/faults"
 	"krisp/internal/metrics"
 	"krisp/internal/sim"
+	"krisp/internal/telemetry"
 )
 
 // chaosHarness is the server-side half of the hardened serving path,
@@ -26,6 +27,10 @@ type chaosHarness struct {
 	cooldownUntil sim.Time
 	recent        metrics.Sample
 	stopAt        sim.Time
+
+	// sloViolations mirrors SLOWidenings into the metrics registry (nil
+	// when telemetry is off — the handle is nil-safe).
+	sloViolations *telemetry.Counter
 }
 
 // startGuard begins the periodic SLO-guard ticks. Ticks stop rescheduling
@@ -39,6 +44,7 @@ func (c *chaosHarness) tick() {
 		now := c.eng.Now()
 		if p99 := c.recent.P99(); p99 > c.p99Threshold {
 			c.stats.SLOWidenings++
+			c.sloViolations.Inc()
 			for _, rt := range c.runtimes {
 				rt.Widen()
 			}

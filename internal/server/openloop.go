@@ -188,6 +188,7 @@ func (w *worker) runOpenBatch(arrivals []sim.Time) {
 				if w.chaos != nil {
 					w.chaos.observeBatch(end - batchStart)
 				}
+				w.tel.observeBatch(len(arrivals), batchStart, end)
 				ol.complete(arrivals)
 				if end > w.measureStart && end <= w.measureEnd {
 					w.stats.Batches++

@@ -27,6 +27,7 @@ import (
 	"krisp/internal/policies"
 	"krisp/internal/profile"
 	"krisp/internal/sim"
+	"krisp/internal/telemetry"
 	"krisp/internal/trace"
 )
 
@@ -83,6 +84,12 @@ type Config struct {
 	OverlapLimit *int
 	// Trace, if non-nil, records worker 0's kernel launches.
 	Trace *trace.Trace
+	// Telemetry, when non-nil, instruments the whole stack — devices,
+	// command processors, runtimes, fault injector, workers — against the
+	// hub's registry (and tracer, when present). Nil disables telemetry
+	// entirely; results are byte-identical either way, because telemetry
+	// only observes and never schedules events or draws randomness.
+	Telemetry *telemetry.Hub
 	// Faults, when non-nil and non-empty, arms the chaos substrate: the
 	// plan's fault timeline is injected on the simulation clock and the
 	// hardened serving path (watchdog, bounded retry, degradation ladder,
@@ -302,6 +309,7 @@ func Run(cfg Config) Result {
 	hsaCfg := cfg.HSA
 	hsaCfg.KernelScoped = cfg.Policy.KernelScoped() && !cfg.ForceEmulation
 	gpus := make([]gpuStack, numGPUs)
+	coreTels := make([]*core.Telemetry, numGPUs)
 	for g := range gpus {
 		meter := energy.NewMeter(cfg.Power)
 		dev := gpu.NewDevice(eng, cfg.Spec, meter)
@@ -309,7 +317,15 @@ func Run(cfg Config) Result {
 		if inj != nil {
 			cp.SetFaults(inj)
 		}
+		// The telemetry constructors return nil on a nil hub, so this wiring
+		// is unconditional and installs nothing when telemetry is off.
+		dev.SetTelemetry(gpu.NewTelemetry(cfg.Telemetry, cfg.Spec.Topo, g))
+		cp.SetTelemetry(hsa.NewTelemetry(cfg.Telemetry, g))
+		coreTels[g] = core.NewTelemetry(cfg.Telemetry, g)
 		gpus[g] = gpuStack{meter: meter, dev: dev, cp: cp}
+	}
+	if inj != nil {
+		inj.SetTelemetry(faults.NewTelemetry(cfg.Telemetry))
 	}
 	rs := core.NewRightSizer(db, cfg.Spec.Topo.TotalCUs())
 
@@ -328,7 +344,12 @@ func Run(cfg Config) Result {
 		if !a.QueueMask.IsEmpty() && !a.QueueMask.Equal(gpu.FullMask(cfg.Spec.Topo)) {
 			q.SetCUMask(a.QueueMask, nil)
 		}
-		rtCfg := core.Config{Mode: mode, OverlapLimit: a.OverlapLimit}
+		rtCfg := core.Config{
+			Mode:         mode,
+			OverlapLimit: a.OverlapLimit,
+			Device:       i % numGPUs,
+			Telemetry:    coreTels[i%numGPUs],
+		}
 		if i == 0 {
 			rtCfg.Trace = cfg.Trace
 		}
@@ -358,6 +379,7 @@ func Run(cfg Config) Result {
 		workers[i].stats.Model = spec.Model.Name
 		workers[i].stats.Batch = spec.Batch
 		workers[i].openLoop = cfg.openLoop
+		workers[i].tel = newWorkerTelemetry(cfg.Telemetry, spec.Model.Name, i%numGPUs, q.ID)
 	}
 
 	// Arm the chaos substrate now that every queue exists: inject the fault
@@ -380,6 +402,10 @@ func Run(cfg Config) Result {
 			p99Threshold: float64(plan.SLOP99),
 			cooldown:     plan.SLOCooldown,
 			stopAt:       measureEnd,
+		}
+		if reg := cfg.Telemetry.Registry(); reg != nil {
+			ch.sloViolations = reg.Counter("krisp_server_slo_violations_total",
+				"SLO-guard windows whose p99 exceeded the threshold")
 		}
 		for _, w := range workers {
 			ch.runtimes = append(ch.runtimes, w.rt)
@@ -468,6 +494,7 @@ type worker struct {
 	stats                    WorkerStats
 	openLoop                 *openLoop
 	chaos                    *chaosHarness
+	tel                      *workerTelemetry
 
 	// baseDescs caches the closed-loop kernel sequence (fixed batch size);
 	// descBuf is the reusable jittered copy. RunSequence copies every desc
@@ -496,6 +523,7 @@ func (w *worker) runBatch() {
 				if w.chaos != nil {
 					w.chaos.observeBatch(end - batchStart)
 				}
+				w.tel.observeBatch(w.spec.Batch, batchStart, end)
 				if end > w.measureStart && end <= w.measureEnd {
 					w.stats.Batches++
 					w.stats.Requests += w.spec.Batch

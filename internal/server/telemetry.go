@@ -1,0 +1,55 @@
+package server
+
+import (
+	"fmt"
+
+	"krisp/internal/sim"
+	"krisp/internal/telemetry"
+)
+
+// workerTelemetry holds one worker's metric handles, resolved once before
+// serving starts. Workers sharing a model share the labeled series (the
+// registry is get-or-register). A nil *workerTelemetry disables everything.
+type workerTelemetry struct {
+	// latency is the per-model end-to-end batch latency in milliseconds.
+	latency *telemetry.Histogram
+	// batches/requests count completions over the whole run (not just the
+	// measurement window — live scrapes want the monotonic totals).
+	batches  *telemetry.Counter
+	requests *telemetry.Counter
+
+	tracer   *telemetry.Tracer
+	spanName string
+	pid, tid int
+}
+
+// newWorkerTelemetry resolves the handles for a worker serving model on
+// GPU pid through HSA queue tid. Returns nil when the hub has no registry.
+func newWorkerTelemetry(hub *telemetry.Hub, model string, pid, tid int) *workerTelemetry {
+	reg := hub.Registry()
+	if reg == nil {
+		return nil
+	}
+	lbl := fmt.Sprintf(`{model="%s"}`, model)
+	return &workerTelemetry{
+		latency:  reg.Histogram("krisp_server_batch_latency_ms"+lbl, "end-to-end batch latency (virtual ms)", telemetry.LatencyBucketsMs()),
+		batches:  reg.Counter("krisp_server_batches_total"+lbl, "batches completed"),
+		requests: reg.Counter("krisp_server_requests_total"+lbl, "requests completed"),
+		tracer:   hub.Trace(),
+		spanName: "batch:" + model,
+		pid:      pid,
+		tid:      tid,
+	}
+}
+
+// observeBatch records one completed batch of n requests spanning
+// [start, end] virtual microseconds.
+func (t *workerTelemetry) observeBatch(n int, start, end sim.Time) {
+	if t == nil {
+		return
+	}
+	t.batches.Inc()
+	t.requests.Add(uint64(n))
+	t.latency.Observe((end - start) / 1000)
+	t.tracer.SpanArg("server", t.spanName, t.pid, t.tid, start, end, "requests", float64(n))
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"krisp/internal/faults"
+	"krisp/internal/policies"
+	"krisp/internal/telemetry"
+	"krisp/internal/trace"
+)
+
+// runTraced runs one single-worker scenario with a kernel trace attached
+// and the given hub (nil = telemetry off).
+func runTraced(t *testing.T, hub *telemetry.Hub) (Result, *trace.Trace) {
+	t.Helper()
+	tr := &trace.Trace{}
+	res := Run(Config{
+		Policy:    policies.KRISPI,
+		Workers:   []WorkerSpec{{Model: mustModel(t, "squeezenet"), Batch: 32}},
+		Seed:      7,
+		Trace:     tr,
+		Telemetry: hub,
+	})
+	return res, tr
+}
+
+// TestTelemetryDoesNotPerturbResults is the byte-identical contract:
+// attaching a full hub (registry + tracer) must not change a single
+// simulated outcome, down to every kernel trace record.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	off, trOff := runTraced(t, nil)
+	on, trOn := runTraced(t, telemetry.NewHub(true))
+
+	if off.RPS != on.RPS || off.EnergyJ != on.EnergyJ || off.AvgBusyCUs != on.AvgBusyCUs {
+		t.Errorf("summary diverged: off RPS=%v E=%v, on RPS=%v E=%v",
+			off.RPS, off.EnergyJ, on.RPS, on.EnergyJ)
+	}
+	if len(off.Workers) != len(on.Workers) {
+		t.Fatalf("worker counts diverged: %d vs %d", len(off.Workers), len(on.Workers))
+	}
+	for i := range off.Workers {
+		a, b := &off.Workers[i], &on.Workers[i]
+		if a.Batches != b.Batches || a.Requests != b.Requests || a.P95() != b.P95() {
+			t.Errorf("worker %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	var csvOff, csvOn bytes.Buffer
+	if err := trOff.WriteCSV(&csvOff); err != nil {
+		t.Fatal(err)
+	}
+	if err := trOn.WriteCSV(&csvOn); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvOff.Bytes(), csvOn.Bytes()) {
+		t.Error("kernel trace CSV diverged between telemetry on and off")
+	}
+}
+
+// TestKernelSpanCountMatchesTrace checks the tracer against the existing
+// kernel trace: in a fault-free run every dispatched kernel produces
+// exactly one "kernel"-category span, so the span count must equal the
+// number of trace records.
+func TestKernelSpanCountMatchesTrace(t *testing.T) {
+	hub := telemetry.NewHub(true)
+	_, tr := runTraced(t, hub)
+	if tr.Len() == 0 {
+		t.Fatal("empty kernel trace")
+	}
+	if got := hub.Trace().CountCat("kernel"); got != tr.Len() {
+		t.Errorf("kernel spans = %d, trace records = %d", got, tr.Len())
+	}
+	// Every queue wait precedes a packet-process span which precedes the
+	// dispatch, so the hsa category must be at least 2x the kernel count
+	// (queue_wait + packet_process per dispatch).
+	if got := hub.Trace().CountCat("hsa"); got < 2*tr.Len() {
+		t.Errorf("hsa spans = %d, want >= %d", got, 2*tr.Len())
+	}
+}
+
+// TestTelemetryRegistryPopulated cross-checks registry counters against
+// the simulation's own accounting.
+func TestTelemetryRegistryPopulated(t *testing.T) {
+	hub := telemetry.NewHub(false)
+	res, tr := runTraced(t, hub)
+
+	reg := hub.Registry()
+	if v := reg.Counter("krisp_hsa_dispatches_total{gpu=\"0\"}", "").Value(); v < uint64(tr.Len()) {
+		t.Errorf("dispatches = %d, want >= %d trace records", v, tr.Len())
+	}
+	// The counters see every batch, including those outside the measurement
+	// window that Result excludes, so they bound the result from above.
+	batches := reg.Counter("krisp_server_batches_total{model=\"squeezenet\"}", "").Value()
+	if batches < uint64(res.Workers[0].Batches) {
+		t.Errorf("batch counter = %d, result says %d", batches, res.Workers[0].Batches)
+	}
+	reqs := reg.Counter("krisp_server_requests_total{model=\"squeezenet\"}", "").Value()
+	if reqs < uint64(res.Workers[0].Requests) || reqs != batches*32 {
+		t.Errorf("request counter = %d, batches = %d, result says %d",
+			reqs, batches, res.Workers[0].Requests)
+	}
+	if v := reg.Counter("krisp_core_rightsize_decisions_total{gpu=\"0\"}", "").Value(); v == 0 {
+		t.Error("no right-size decisions recorded under krisp-i")
+	}
+	if v := reg.Gauge("krisp_gpu_healthy_cus{gpu=\"0\"}", "").Value(); v != 60 {
+		t.Errorf("healthy CUs = %d, want 60 on a fault-free MI50", v)
+	}
+}
+
+// TestChaosTelemetryCounters runs the hardened path under a fault plan and
+// checks the fault-injection counters mirror faults.Stats.
+func TestChaosTelemetryCounters(t *testing.T) {
+	hub := telemetry.NewHub(false)
+	res := Run(Config{
+		Policy:  policies.KRISPI,
+		Workers: []WorkerSpec{{Model: mustModel(t, "squeezenet"), Batch: 32}},
+		Seed:    11,
+		Faults: &faults.Plan{
+			CUKills:     []faults.CUKill{{At: 2000, GPU: 0, CU: 18}},
+			Kernels:     faults.KernelFaults{StragglerProb: 0.05},
+			SLOP99:      1000, // 1ms — low enough that the guard fires
+			SLOWindow:   50000,
+			SLOCooldown: 100000,
+		},
+		Telemetry: hub,
+	})
+	reg := hub.Registry()
+	if v := reg.Counter("krisp_faults_cu_kills_total", "").Value(); v != uint64(res.Faults.CUKills) {
+		t.Errorf("cu kill counter = %d, stats say %d", v, res.Faults.CUKills)
+	}
+	if v := reg.Counter("krisp_faults_kernel_stragglers_total", "").Value(); v != uint64(res.Faults.KernelStragglers) {
+		t.Errorf("straggler counter = %d, stats say %d", v, res.Faults.KernelStragglers)
+	}
+	if v := reg.Counter("krisp_server_slo_violations_total", "").Value(); v != uint64(res.Faults.SLOWidenings) {
+		t.Errorf("slo violation counter = %d, stats say %d", v, res.Faults.SLOWidenings)
+	}
+	if v := reg.Gauge("krisp_gpu_healthy_cus{gpu=\"0\"}", "").Value(); v != 59 {
+		t.Errorf("healthy CUs = %d, want 59 after one kill", v)
+	}
+}

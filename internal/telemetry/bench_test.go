@@ -1,0 +1,51 @@
+package telemetry
+
+import "testing"
+
+// The write path is the contract: one atomic op per counter/gauge write, a
+// bounded scan plus atomics for histograms, zero heap allocations. The hsa
+// dispatch benchmark asserts the end-to-end property; these isolate the
+// primitives.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := New().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := New().Gauge("bench_gauge", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench_us", "", LatencyBucketsUs())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}
+
+func TestWritePathZeroAllocs(t *testing.T) {
+	r := New()
+	c := r.Counter("za_total", "")
+	g := r.Gauge("za_gauge", "")
+	h := r.Histogram("za_us", "", LatencyBucketsUs())
+	var nilC *Counter
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(9)
+		g.Add(-1)
+		h.Observe(17)
+		nilC.Inc()
+	})
+	if allocs != 0 {
+		t.Errorf("metric write path allocates: %g allocs/op", allocs)
+	}
+}

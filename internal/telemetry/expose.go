@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// splitName separates a registered name into its base metric name and its
+// baked-in label set: `krisp_gpu_busy_cus{gpu="0"}` → ("krisp_gpu_busy_cus",
+// `gpu="0"`). Names without labels return an empty label string.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// joinLabels renders a label body plus an optional extra label as a
+// {...} block, or "" when both are empty.
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}
+
+func formatLE(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name so scrapes are
+// deterministic. Labeled series sharing a base name emit one HELP/TYPE
+// header (first occurrence wins).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	seenHeader := make(map[string]bool)
+	header := func(base, help, typ string) {
+		if seenHeader[base] {
+			return
+		}
+		seenHeader[base] = true
+		if help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", base, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+	}
+	var err error
+	for _, name := range r.sortedNames() {
+		r.mu.RLock()
+		c := r.counters[name]
+		g := r.gauges[name]
+		h := r.histograms[name]
+		r.mu.RUnlock()
+		base, labels := splitName(name)
+		switch {
+		case c != nil:
+			header(base, c.help, "counter")
+			_, err = fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels, ""), c.Value())
+		case g != nil:
+			header(base, g.help, "gauge")
+			_, err = fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels, ""), g.Value())
+		case h != nil:
+			header(base, h.help, "histogram")
+			cum := uint64(0)
+			for i, n := range h.BucketCounts() {
+				cum += n
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = formatLE(h.bounds[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", base, joinLabels(labels, `le="`+le+`"`), cum)
+			}
+			fmt.Fprintf(w, "%s_sum%s %g\n", base, joinLabels(labels, ""), h.Sum())
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", base, joinLabels(labels, ""), h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BucketSnapshot is one cumulative histogram bucket in a Snapshot. LE is a
+// string so the +Inf bucket survives JSON encoding.
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// MetricSnapshot is one metric's point-in-time state, JSON-friendly for the
+// /debug/telemetry endpoint.
+type MetricSnapshot struct {
+	Name  string  `json:"name"`
+	Type  string  `json:"type"`
+	Help  string  `json:"help,omitempty"`
+	Value float64 `json:"value"`
+	// Histogram-only fields.
+	Count   uint64           `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Snapshot captures every registered metric, sorted by name. Counter and
+// gauge snapshots carry Value; histograms carry Count/Sum/Buckets
+// (cumulative, Prometheus-style) with Value left at the observation count.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	names := r.sortedNames()
+	out := make([]MetricSnapshot, 0, len(names))
+	for _, name := range names {
+		r.mu.RLock()
+		c := r.counters[name]
+		g := r.gauges[name]
+		h := r.histograms[name]
+		r.mu.RUnlock()
+		switch {
+		case c != nil:
+			out = append(out, MetricSnapshot{Name: name, Type: "counter", Help: c.help, Value: float64(c.Value())})
+		case g != nil:
+			out = append(out, MetricSnapshot{Name: name, Type: "gauge", Help: g.help, Value: float64(g.Value())})
+		case h != nil:
+			s := MetricSnapshot{Name: name, Type: "histogram", Help: h.help, Count: h.Count(), Sum: h.Sum()}
+			s.Value = float64(s.Count)
+			cum := uint64(0)
+			for i, n := range h.BucketCounts() {
+				cum += n
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = formatLE(h.bounds[i])
+				}
+				s.Buckets = append(s.Buckets, BucketSnapshot{LE: le, Count: cum})
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}

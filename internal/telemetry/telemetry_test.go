@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("krisp_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("krisp_test_depth", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	tr.Span("x", "y", 0, 0, 0, 1)
+	tr.Instant("x", "y", 0, 0, 0, "", 0)
+	tr.CounterEvent("x", 0, 0, nil, nil)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tr.Len() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	var hub *Hub
+	if hub.Registry() != nil || hub.Trace() != nil {
+		t.Error("nil hub accessors must return nil")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("krisp_test_lat_us", "latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum = %g, want 556.5", h.Sum())
+	}
+	want := []uint64{2, 1, 1, 1} // (<=1)=2, (<=10)=1, (<=100)=1, +Inf=1
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGetOrRegisterSharesHandles(t *testing.T) {
+	r := New()
+	a := r.Counter("krisp_shared_total", "")
+	b := r.Counter("krisp_shared_total", "")
+	if a != b {
+		t.Error("same name must return the same counter")
+	}
+	h1 := r.Histogram("krisp_shared_us", "", []float64{1, 2})
+	h2 := r.Histogram("krisp_shared_us", "", []float64{9, 99}) // bounds ignored on re-registration
+	if h1 != h2 {
+		t.Error("same name must return the same histogram")
+	}
+	if b := h2.Bounds(); b[0] != 1 || b[1] != 2 {
+		t.Errorf("re-registration changed bounds: %v", b)
+	}
+}
+
+func TestCrossKindRegistrationPanics(t *testing.T) {
+	r := New()
+	r.Counter("krisp_kind_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a counter name as a gauge must panic")
+		}
+	}()
+	r.Gauge("krisp_kind_total", "")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("krisp_dispatches_total", "kernels dispatched").Add(12)
+	r.Gauge(`krisp_busy_cus{gpu="0"}`, "busy CUs").Set(33)
+	r.Gauge(`krisp_busy_cus{gpu="1"}`, "busy CUs").Set(44)
+	h := r.Histogram(`krisp_lat_us{model="albert"}`, "latency", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE krisp_dispatches_total counter",
+		"krisp_dispatches_total 12",
+		"# TYPE krisp_busy_cus gauge",
+		`krisp_busy_cus{gpu="0"} 33`,
+		`krisp_busy_cus{gpu="1"} 44`,
+		"# TYPE krisp_lat_us histogram",
+		`krisp_lat_us_bucket{model="albert",le="1"} 1`,
+		`krisp_lat_us_bucket{model="albert",le="10"} 2`,
+		`krisp_lat_us_bucket{model="albert",le="+Inf"} 3`,
+		`krisp_lat_us_sum{model="albert"} 55.5`,
+		`krisp_lat_us_count{model="albert"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per base name, not per labeled series.
+	if n := strings.Count(out, "# TYPE krisp_busy_cus gauge"); n != 1 {
+		t.Errorf("TYPE header for krisp_busy_cus appears %d times, want 1", n)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("krisp_a_total", "help a").Add(3)
+	h := r.Histogram("krisp_b_us", "", []float64{10})
+	h.Observe(5)
+	h.Observe(500)
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("%d snapshot entries, want 2", len(snap))
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back []MetricSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back[0].Name != "krisp_a_total" || back[0].Type != "counter" || back[0].Value != 3 {
+		t.Errorf("counter snapshot = %+v", back[0])
+	}
+	hs := back[1]
+	if hs.Type != "histogram" || hs.Count != 2 || hs.Sum != 505 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+	if len(hs.Buckets) != 2 || hs.Buckets[1].LE != "+Inf" || hs.Buckets[1].Count != 2 {
+		t.Errorf("histogram buckets = %+v", hs.Buckets)
+	}
+}
+
+// TestConcurrentWrites drives one shared counter, gauge, and histogram from
+// many goroutines — the shape of parallel grid cells writing the
+// process-wide registry — and checks the totals are exact. Run under -race
+// in CI, this is the registry's concurrency contract.
+func TestConcurrentWrites(t *testing.T) {
+	r := New()
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			// Registration races too: every worker get-or-registers.
+			c := r.Counter("krisp_conc_total", "")
+			g := r.Gauge("krisp_conc_gauge", "")
+			h := r.Histogram("krisp_conc_us", "", []float64{1, 2, 4, 8})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 10))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("krisp_conc_total", "").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("krisp_conc_gauge", "").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("krisp_conc_us", "", []float64{1, 2, 4, 8})
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+	if len(LatencyBucketsUs()) != 24 || len(LatencyBucketsMs()) != 16 {
+		t.Error("default bucket shapes changed")
+	}
+}

@@ -1,0 +1,291 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// maxCtrSeries bounds the per-event counter series of a CounterEvent — 8
+// covers one value per shader engine on the largest supported topology.
+const maxCtrSeries = 8
+
+// Event is one recorded trace event in virtual time. Ts and Dur are virtual
+// microseconds — the same unit Chrome trace-event JSON uses, so spans load
+// into Perfetto with no conversion. Pid conventionally identifies the
+// device (GPU index) and Tid the HSA queue.
+type Event struct {
+	Ph   byte // 'X' complete span, 'i' instant, 'C' counter
+	Cat  string
+	Name string
+	Pid  int
+	Tid  int
+	Ts   float64
+	Dur  float64
+	// One optional numeric argument for spans and instants.
+	ArgKey string
+	ArgVal float64
+	// Counter-event series (Ph == 'C').
+	CtrKeys [maxCtrSeries]string
+	CtrVals [maxCtrSeries]float64
+	NCtr    int
+}
+
+// Tracer records spans, instants, and counter time-series against the
+// virtual clock. It is concurrency-safe (parallel grid cells may share
+// one), and every method is nil-receiver safe so call sites gate tracing
+// with a plain field copy instead of branching.
+//
+// Unlike the metrics registry, the tracer retains one record per event, so
+// it is an opt-in tool for bounded runs (quick experiments, single
+// scenarios), not an always-on production path.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	// process/thread display names for the Perfetto UI, keyed by pid and
+	// (pid, tid).
+	procNames   map[int]string
+	threadNames map[[2]int]string
+}
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer {
+	return &Tracer{
+		procNames:   make(map[int]string),
+		threadNames: make(map[[2]int]string),
+	}
+}
+
+// Enabled reports whether events will be recorded (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) add(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Span records a complete span [start, end] on (pid, tid).
+func (t *Tracer) Span(cat, name string, pid, tid int, start, end float64) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Ph: 'X', Cat: cat, Name: name, Pid: pid, Tid: tid, Ts: start, Dur: end - start})
+}
+
+// SpanArg records a complete span carrying one numeric argument.
+func (t *Tracer) SpanArg(cat, name string, pid, tid int, start, end float64, argKey string, argVal float64) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Ph: 'X', Cat: cat, Name: name, Pid: pid, Tid: tid, Ts: start, Dur: end - start,
+		ArgKey: argKey, ArgVal: argVal})
+}
+
+// Instant records a zero-duration marker with one numeric argument
+// (pass an empty argKey to omit it).
+func (t *Tracer) Instant(cat, name string, pid, tid int, ts float64, argKey string, argVal float64) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Ph: 'i', Cat: cat, Name: name, Pid: pid, Tid: tid, Ts: ts, ArgKey: argKey, ArgVal: argVal})
+}
+
+// CounterEvent records a named multi-series counter sample at ts — Perfetto
+// renders these as stacked time-series (the per-SE occupancy timeline). At
+// most maxCtrSeries series are kept; keys and vals must have equal length.
+func (t *Tracer) CounterEvent(name string, pid int, ts float64, keys []string, vals []float64) {
+	if t == nil {
+		return
+	}
+	n := len(keys)
+	if len(vals) < n {
+		n = len(vals)
+	}
+	if n > maxCtrSeries {
+		n = maxCtrSeries
+	}
+	e := Event{Ph: 'C', Name: name, Pid: pid, Ts: ts, NCtr: n}
+	for i := 0; i < n; i++ {
+		e.CtrKeys[i] = keys[i]
+		e.CtrVals[i] = vals[i]
+	}
+	t.add(e)
+}
+
+// NameProcess sets the display name Perfetto shows for pid.
+func (t *Tracer) NameProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.procNames[pid] = name
+	t.mu.Unlock()
+}
+
+// NameThread sets the display name Perfetto shows for (pid, tid).
+func (t *Tracer) NameThread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threadNames[[2]int{pid, tid}] = name
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events (0 for nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// CountCat returns how many events carry the given category.
+func (t *Tracer) CountCat(cat string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.events {
+		if t.events[i].Cat == cat {
+			n++
+		}
+	}
+	return n
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// jsonEvent is the Chrome trace-event wire shape.
+type jsonEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the recorded events as Chrome trace-event JSON
+// (the {"traceEvents": [...]} object form), loadable in Perfetto and
+// chrome://tracing. Virtual microseconds map directly onto the format's ts
+// unit. Process and thread metadata events are emitted first so the UI
+// shows device and queue names.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(je jsonEvent) error {
+		b, err := json.Marshal(je)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := w.Write([]byte{',', '\n'}); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(b)
+		return err
+	}
+
+	// Metadata first, in deterministic order.
+	for _, pid := range sortedIntKeys(t.procNames) {
+		if err := emit(jsonEvent{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": t.procNames[pid]}}); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedPairKeys(t.threadNames) {
+		if err := emit(jsonEvent{Name: "thread_name", Ph: "M", Pid: k[0], Tid: k[1],
+			Args: map[string]any{"name": t.threadNames[k]}}); err != nil {
+			return err
+		}
+	}
+
+	for i := range t.events {
+		e := &t.events[i]
+		je := jsonEvent{Name: e.Name, Cat: e.Cat, Ph: string(e.Ph), Ts: e.Ts, Pid: e.Pid, Tid: e.Tid}
+		switch e.Ph {
+		case 'X':
+			d := e.Dur
+			je.Dur = &d
+			if e.ArgKey != "" {
+				je.Args = map[string]any{e.ArgKey: e.ArgVal}
+			}
+		case 'i':
+			je.S = "t" // thread-scoped instant
+			if e.ArgKey != "" {
+				je.Args = map[string]any{e.ArgKey: e.ArgVal}
+			}
+		case 'C':
+			args := make(map[string]any, e.NCtr)
+			for j := 0; j < e.NCtr; j++ {
+				args[e.CtrKeys[j]] = e.CtrVals[j]
+			}
+			je.Args = args
+		default:
+			return fmt.Errorf("telemetry: unknown event phase %q", e.Ph)
+		}
+		if err := emit(je); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+func sortedIntKeys(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; metadata sets are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sortedPairKeys(m map[[2]int]string) [][2]int {
+	out := make([][2]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	less := func(a, b [2]int) bool { return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]) }
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

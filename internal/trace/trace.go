@@ -28,6 +28,11 @@ type Record struct {
 	// after transient failures. One record is emitted per seq regardless of
 	// how many attempts it took.
 	Attempt int
+	// Queue is the HSA queue ID the kernel was submitted on, and Device the
+	// GPU index it executed on — the attribution multi-GPU runs need when
+	// several streams share one trace.
+	Queue  int
+	Device int
 	// Start and End bound the kernel's execution in virtual time.
 	Start, End sim.Time
 }
@@ -52,7 +57,7 @@ func (t *Trace) Records() []Record { return t.records }
 // WriteCSV emits the trace with a header row.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"seq", "kernel", "workgroups", "min_cu", "allocated_cus", "attempt", "start_us", "end_us"}); err != nil {
+	if err := cw.Write([]string{"seq", "kernel", "workgroups", "min_cu", "allocated_cus", "attempt", "queue", "device", "start_us", "end_us"}); err != nil {
 		return fmt.Errorf("trace: writing header: %w", err)
 	}
 	for _, r := range t.records {
@@ -63,6 +68,8 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.MinCU),
 			strconv.Itoa(r.AllocatedCUs),
 			strconv.Itoa(r.Attempt),
+			strconv.Itoa(r.Queue),
+			strconv.Itoa(r.Device),
 			strconv.FormatFloat(float64(r.Start), 'f', 3, 64),
 			strconv.FormatFloat(float64(r.End), 'f', 3, 64),
 		}

@@ -21,7 +21,7 @@ func TestTraceAddAndRecords(t *testing.T) {
 
 func TestWriteCSVRoundTrip(t *testing.T) {
 	var tr Trace
-	tr.Add(Record{Seq: 0, Kernel: "gemm", Workgroups: 120, MinCU: 12, AllocatedCUs: 12, Attempt: 2, Start: 1.5, End: 7.25})
+	tr.Add(Record{Seq: 0, Kernel: "gemm", Workgroups: 120, MinCU: 12, AllocatedCUs: 12, Attempt: 2, Queue: 3, Device: 1, Start: 1.5, End: 7.25})
 	var buf bytes.Buffer
 	if err := tr.WriteCSV(&buf); err != nil {
 		t.Fatalf("WriteCSV: %v", err)
@@ -33,14 +33,16 @@ func TestWriteCSVRoundTrip(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("%d rows, want 2 (header + record)", len(rows))
 	}
-	if rows[0][0] != "seq" || rows[0][3] != "min_cu" || rows[0][5] != "attempt" {
+	if rows[0][0] != "seq" || rows[0][3] != "min_cu" || rows[0][5] != "attempt" ||
+		rows[0][6] != "queue" || rows[0][7] != "device" {
 		t.Errorf("header = %v", rows[0])
 	}
-	if rows[1][1] != "gemm" || rows[1][2] != "120" || rows[1][5] != "2" {
+	if rows[1][1] != "gemm" || rows[1][2] != "120" || rows[1][5] != "2" ||
+		rows[1][6] != "3" || rows[1][7] != "1" {
 		t.Errorf("record = %v", rows[1])
 	}
-	if !strings.HasPrefix(rows[1][6], "1.5") {
-		t.Errorf("start = %q", rows[1][6])
+	if !strings.HasPrefix(rows[1][8], "1.5") {
+		t.Errorf("start = %q", rows[1][8])
 	}
 }
 
