@@ -1,0 +1,206 @@
+// Command krisp-cluster runs a fleet experiment: simulated multi-GPU
+// nodes behind an SLO-aware router, with gpulet placement and epoch
+// autoscaling driven by a diurnal workload trace.
+//
+// Usage:
+//
+//	krisp-cluster -models squeezenet,mobilenet -policy slo-aware
+//	krisp-cluster -compare -degrade 1:0:3.0
+//	krisp-cluster -down 2:120 -policy least-outstanding
+//	krisp-cluster -serve :8080   (fleet metrics stay up on /metrics)
+//
+// Each listed model is served with a diurnal rate profile sweeping
+// trough = rate/4 up to peak = rate over the run. Faults are injected
+// with -degrade node:gpu:stretch (a GPU running slow for the whole run)
+// and -down node:at_ms[:dur_ms] (a node crash, optionally recovering).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"krisp/internal/cluster"
+	"krisp/internal/cluster/workload"
+	"krisp/internal/faults"
+	"krisp/internal/httpapi"
+	"krisp/internal/models"
+	"krisp/internal/reconfig"
+	"krisp/internal/sim"
+	"krisp/internal/telemetry"
+)
+
+func main() {
+	var (
+		modelList  = flag.String("models", "squeezenet,mobilenet", "comma-separated model names to serve")
+		batch      = flag.Int("batch", 8, "replica batch size")
+		rate       = flag.Float64("rate", 5000, "peak request rate per model (req/s); the diurnal trough is rate/4")
+		nodes      = flag.Int("nodes", 3, "fleet size")
+		gpus       = flag.Int("gpus", 2, "GPUs per node")
+		policyName = flag.String("policy", "slo-aware", "routing policy: round-robin|least-outstanding|p2c|slo-aware")
+		compare    = flag.Bool("compare", false, "run every routing policy on the same trace and tabulate")
+		durationMs = flag.Int("duration-ms", 300, "simulated fleet time (virtual ms)")
+		epochMs    = flag.Int("epoch-ms", 50, "autoscaler replanning interval (virtual ms)")
+		tickUs     = flag.Int("tick-us", 2000, "router control interval (virtual us)")
+		seed       = flag.Int64("seed", 42, "seed for arrivals, jitter, and p2c sampling")
+		par        = flag.Int("parallel", 0, "node-advancement workers (0 = GOMAXPROCS, 1 = serial; results identical)")
+		headroom   = flag.Float64("headroom", 1.2, "autoscaler overprovisioning factor")
+		degrade    = flag.String("degrade", "", "inject a slow GPU: node:gpu:stretch (e.g. 1:0:3.0)")
+		down       = flag.String("down", "", "crash a node: node:at_ms[:dur_ms] (no duration = stays down)")
+		realCosts  = flag.Bool("real-costs", false, "use production-scale reconfig costs (10s-class reloads) instead of costs compressed to the run's timescale")
+		serve      = flag.String("serve", "", "after the run, serve the HTTP API (fleet metrics on /metrics) at this address")
+	)
+	flag.Parse()
+
+	var workloads []cluster.Workload
+	for _, name := range strings.Split(*modelList, ",") {
+		m, ok := models.ByName(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown model %q; available: %v\n", name, models.Names())
+			os.Exit(2)
+		}
+		workloads = append(workloads, cluster.Workload{
+			Model: m,
+			Batch: *batch,
+			Gen: workload.Diurnal{
+				Trough: *rate / 4,
+				Peak:   *rate,
+				Period: sim.Duration(*durationMs) * sim.Millisecond,
+			},
+		})
+	}
+
+	var nodeFaults []faults.NodeFault
+	if *degrade != "" {
+		n, g, s, err := parseDegrade(*degrade)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		nodeFaults = append(nodeFaults, faults.NodeFault{
+			Node: n, Kind: faults.GPUDegrade, GPU: g, Stretch: s,
+		})
+	}
+	if *down != "" {
+		n, at, dur, err := parseDown(*down)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		nodeFaults = append(nodeFaults, faults.NodeFault{
+			Node: n, Kind: faults.NodeDown, At: at, Duration: dur,
+		})
+	}
+
+	costs := reconfig.Costs{
+		PartitionSetup: 2 * sim.Millisecond,
+		ProcessStart:   3 * sim.Millisecond,
+		ModelLoad:      10 * sim.Millisecond,
+		SwapDowntime:   55 * sim.Microsecond,
+	}
+	if *realCosts {
+		costs = reconfig.DefaultCosts()
+	}
+
+	cfg := cluster.Config{
+		Nodes:       *nodes,
+		GPUsPerNode: *gpus,
+		Workloads:   workloads,
+		Tick:        sim.Duration(*tickUs),
+		Epoch:       sim.Duration(*epochMs) * sim.Millisecond,
+		Duration:    sim.Duration(*durationMs) * sim.Millisecond,
+		Seed:        *seed,
+		Parallel:    *par,
+		Headroom:    *headroom,
+		NodeFaults:  nodeFaults,
+		Costs:       costs,
+	}
+
+	policies := []cluster.Policy{}
+	if *compare {
+		policies = cluster.Policies()
+	} else {
+		p, err := cluster.PolicyByName(*policyName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		policies = append(policies, p)
+	}
+
+	fmt.Printf("fleet: %d nodes x %d GPUs, %d models, %d ms trace, seed %d\n",
+		*nodes, *gpus, len(workloads), *durationMs, *seed)
+	if len(nodeFaults) > 0 {
+		for _, nf := range nodeFaults {
+			fmt.Printf("fault: %s node=%d gpu=%d at=%.0fms stretch=%.1f dur=%.0fms\n",
+				nf.Kind, nf.Node, nf.GPU, float64(nf.At)/1000, nf.Stretch, float64(nf.Duration)/1000)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("%-18s %8s %8s %8s %8s %6s %9s %9s %8s\n",
+		"policy", "routed", "complete", "rejected", "sloviol", "bad", "p95(ms)", "goodput", "energy(J)")
+
+	for i, p := range policies {
+		run := cfg
+		run.Policy = p
+		// The last (or only) policy's run feeds the live metrics registry.
+		if *serve != "" && i == len(policies)-1 {
+			run.Telemetry = telemetry.DefaultHub()
+		}
+		res := cluster.Run(run)
+		fmt.Printf("%-18s %8d %8d %8d %8d %6d %9.2f %9.0f %8.1f\n",
+			p, res.Routed, res.Completed, res.Rejected, res.SLOViolations,
+			res.BadRequests(), res.Latency.P95()/1000, res.GoodputRPS(), res.EnergyJ)
+		if i == len(policies)-1 {
+			fmt.Printf("\nplacement churn: %d migrations, %d resizes, %d drains, %d node faults\n",
+				res.Migrations, res.Resizes, res.Drains, res.NodeFaults)
+			fmt.Printf("reconfig bill:   process-scoped %.1f ms vs kernel-scoped %.1f ms\n",
+				float64(res.ProcessScopedReload)/1000, float64(res.KernelScopedReload)/1000)
+		}
+	}
+
+	if *serve != "" {
+		fmt.Printf("\nserving fleet metrics at http://%s/metrics (ctrl-c to stop)\n", *serve)
+		if err := http.ListenAndServe(*serve, httpapi.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func parseDegrade(s string) (node, gpu int, stretch float64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad -degrade %q, want node:gpu:stretch", s)
+	}
+	node, e1 := strconv.Atoi(parts[0])
+	gpu, e2 := strconv.Atoi(parts[1])
+	stretch, e3 := strconv.ParseFloat(parts[2], 64)
+	if e1 != nil || e2 != nil || e3 != nil {
+		return 0, 0, 0, fmt.Errorf("bad -degrade %q, want node:gpu:stretch", s)
+	}
+	return node, gpu, stretch, nil
+}
+
+func parseDown(s string) (node int, at sim.Time, dur sim.Duration, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad -down %q, want node:at_ms[:dur_ms]", s)
+	}
+	node, e1 := strconv.Atoi(parts[0])
+	atMs, e2 := strconv.Atoi(parts[1])
+	if e1 != nil || e2 != nil {
+		return 0, 0, 0, fmt.Errorf("bad -down %q, want node:at_ms[:dur_ms]", s)
+	}
+	if len(parts) == 3 {
+		durMs, e3 := strconv.Atoi(parts[2])
+		if e3 != nil {
+			return 0, 0, 0, fmt.Errorf("bad -down %q, want node:at_ms[:dur_ms]", s)
+		}
+		dur = sim.Duration(durMs) * sim.Millisecond
+	}
+	return node, sim.Time(atMs) * sim.Millisecond, dur, nil
+}

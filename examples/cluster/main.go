@@ -1,6 +1,9 @@
-// Cluster: plan a multi-model serving fleet the way prior works'
-// schedulers do (Gpulet-style sizing + packing), watch the plan chase a
-// diurnal load trace, and compare the reconfiguration bill between
+// Cluster: run a simulated serving fleet end to end — three multi-GPU
+// nodes behind an SLO-aware router, gpulet placement from the Gpulet-style
+// planner, and an epoch autoscaler chasing a diurnal trace — then stress
+// it: a thermally-throttled GPU that SLO-aware routing must steer around,
+// and a node crash whose replicas the next epoch re-places on the
+// survivors. Along the way, compare the reconfiguration bill between
 // process-scoped shadow reloads and KRISP's kernel-scoped instances.
 //
 // Run with:
@@ -12,15 +15,15 @@ import (
 	"fmt"
 	"log"
 
+	"krisp/internal/cluster"
+	"krisp/internal/cluster/workload"
+	"krisp/internal/faults"
 	"krisp/internal/models"
-	"krisp/internal/profile"
 	"krisp/internal/reconfig"
-	"krisp/internal/sched"
+	"krisp/internal/sim"
 )
 
 func main() {
-	planner := sched.NewPlanner(profile.DefaultConfig())
-
 	pick := func(name string) models.Model {
 		m, ok := models.ByName(name)
 		if !ok {
@@ -28,44 +31,78 @@ func main() {
 		}
 		return m
 	}
-	demands := []sched.Demand{
-		{Model: pick("albert"), Batch: 32},
-		{Model: pick("squeezenet"), Batch: 32},
-		{Model: pick("resnext101"), Batch: 32},
+
+	// A compressed day: 300 virtual ms, replanned every 50ms. Reconfig
+	// costs are scaled to the same compression (a 10ms model load here
+	// stands in for the ~8s of wall time a real load takes).
+	base := cluster.Config{
+		Nodes:       3,
+		GPUsPerNode: 2,
+		Workloads: []cluster.Workload{
+			{
+				Model: pick("squeezenet"),
+				Batch: 8,
+				Gen: workload.Diurnal{
+					Trough: 800, Peak: 5000, Period: 300 * sim.Millisecond,
+				},
+			},
+			{
+				Model: pick("mobilenet"),
+				Batch: 8,
+				Gen:   workload.Constant{RatePerSec: 1200},
+			},
+		},
+		Tick:     2 * sim.Millisecond,
+		Epoch:    50 * sim.Millisecond,
+		Duration: 300 * sim.Millisecond,
+		Seed:     42,
+		Costs: reconfig.Costs{
+			PartitionSetup: 2 * sim.Millisecond,
+			ProcessStart:   3 * sim.Millisecond,
+			ModelLoad:      10 * sim.Millisecond,
+			SwapDowntime:   55 * sim.Microsecond,
+		},
 	}
 
-	// One plan at a fixed operating point.
-	for i, rate := range []float64{900, 5000, 300} {
-		demands[i].RatePerSec = rate
-	}
-	plan := planner.Plan(demands, 4)
-	fmt.Printf("operating point (900/5000/300 rps) -> %d gpulets on %d GPU(s), feasible=%v\n",
-		len(plan.Gpulets), plan.GPUs, plan.Feasible)
-	for _, g := range plan.Gpulets {
-		fmt.Printf("  %v\n", g)
-	}
+	// Act 1 — a healthy fleet on a diurnal day.
+	fmt.Println("== healthy fleet, diurnal trace ==")
+	res := run(base, cluster.SLOAware, nil)
+	report(res)
+	fmt.Printf("reconfig bill: process-scoped %.0f ms vs kernel-scoped %.0f ms\n",
+		float64(res.ProcessScopedReload)/1000, float64(res.KernelScopedReload)/1000)
 
-	// A day compressed into six epochs.
-	trace := [][]float64{
-		{300, 1500, 100},
-		{900, 5000, 300},
-		{1500, 9000, 500},
-		{2000, 12000, 700},
-		{1200, 7000, 400},
-		{300, 1500, 100},
-	}
-	plans, report := planner.ReplanTrace(demands, trace, 4, reconfig.DefaultCosts())
-	fmt.Printf("\ndiurnal trace, %d epochs:\n", len(plans))
-	for e, p := range plans {
-		cus := 0
-		for g := 0; g < p.GPUs; g++ {
-			cus += p.TotalCUs(g)
-		}
-		fmt.Printf("  epoch %d: rates %v -> %d gpulets, %d GPUs, %d CUs\n",
-			e, trace[e], len(p.Gpulets), p.GPUs, cus)
-	}
-	fmt.Printf("\n%d instance resizes across the day\n", report.Resizes)
-	fmt.Printf("process-scoped (shadow) reload bill: %.1f s\n", float64(report.ProcessScopedReload)/1e6)
-	fmt.Printf("kernel-scoped (KRISP) reload bill:   %.0f s — resizes land at the next kernel\n",
-		float64(report.KernelScopedReload)/1e6)
+	// Act 2 — one GPU on node 1 runs at quarter speed all day (thermal
+	// throttle). Round-robin keeps feeding it; SLO-aware watches each
+	// replica's observed P95 and steers around the slow one.
+	fmt.Println("\n== degraded GPU (node 1, gpu 0, 4x slow): round-robin vs slo-aware ==")
+	slow := []faults.NodeFault{{At: 0, Node: 1, Kind: faults.GPUDegrade, GPU: 0, Stretch: 3.0}}
+	rr := run(base, cluster.RoundRobin, slow)
+	slo := run(base, cluster.SLOAware, slow)
+	fmt.Printf("round-robin: %4d bad requests (%d rejected, %d SLO violations), p95 %.1f ms\n",
+		rr.BadRequests(), rr.Rejected, rr.SLOViolations, rr.Latency.P95()/1000)
+	fmt.Printf("slo-aware:   %4d bad requests (%d rejected, %d SLO violations), p95 %.1f ms\n",
+		slo.BadRequests(), slo.Rejected, slo.SLOViolations, slo.Latency.P95()/1000)
+
+	// Act 3 — node 2 crashes mid-day and never comes back. Its replicas
+	// die with their in-flight requests; the next epoch's replan re-places
+	// them on the surviving nodes and serving continues.
+	fmt.Println("\n== node 2 crashes at t=120ms ==")
+	crash := []faults.NodeFault{{At: 120 * sim.Millisecond, Node: 2, Kind: faults.NodeDown}}
+	cres := run(base, cluster.SLOAware, crash)
+	report(cres)
+	fmt.Printf("placement churn: %d migrations, %d drains — the crashed node's share re-placed within one epoch\n",
+		cres.Migrations, cres.Drains)
+}
+
+func run(cfg cluster.Config, p cluster.Policy, nf []faults.NodeFault) *cluster.Result {
+	cfg.Policy = p
+	cfg.NodeFaults = nf
+	return cluster.Run(cfg)
+}
+
+func report(r *cluster.Result) {
+	fmt.Printf("%d arrivals -> %d routed, %d completed, %d rejected, %d failed, %d SLO violations\n",
+		r.Arrivals, r.Routed, r.Completed, r.Rejected, r.Failed, r.SLOViolations)
+	fmt.Printf("p95 latency %.1f ms, goodput %.0f rps, energy %.1f J\n",
+		r.Latency.P95()/1000, r.GoodputRPS(), r.EnergyJ)
 }

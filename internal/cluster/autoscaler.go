@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"krisp/internal/cluster/workload"
+	"krisp/internal/sched"
+	"krisp/internal/sim"
+)
+
+// autoscaler is the epoch-driven control loop: at every epoch boundary it
+// forecasts each model's rate over the coming epoch, asks the placer for a
+// fresh placement over the live slots, and applies the diff — spawning,
+// resizing, and draining replicas, and booking the reconfiguration bill.
+type autoscaler struct {
+	placer   *placer
+	epoch    sim.Duration
+	headroom float64
+	next     sim.Time
+	epochs   int
+}
+
+// maybeReplan runs the control loop when now crosses the epoch boundary.
+func (a *autoscaler) maybeReplan(f *Fleet, now sim.Time) {
+	if now < a.next {
+		return
+	}
+	a.next = now + a.epoch
+	a.epochs++
+
+	// Forecast: the mean offered rate over the epoch ahead, padded by the
+	// headroom factor so the fleet keeps slack for Poisson bursts and for
+	// the router to steer around slow replicas. A production autoscaler
+	// would predict from history; the simulation forecasts from the
+	// generator itself, which isolates placement behaviour from predictor
+	// quality.
+	demands := make([]sched.Demand, len(f.cfg.Workloads))
+	for i, w := range f.cfg.Workloads {
+		demands[i] = sched.Demand{
+			Model:      w.Model,
+			Batch:      w.Batch,
+			RatePerSec: a.headroom * workload.MeanRate(w.Gen, now, now+a.epoch),
+		}
+	}
+
+	// Slots are interleaved gpu-major (node0/gpu0, node1/gpu0, ..., then
+	// gpu1) so the placer's worst-fit tie-breaking walks across nodes
+	// before doubling up on one — better fault isolation and a more
+	// balanced fleet than filling node 0 to the brim first.
+	maxGPUs := 0
+	for _, n := range f.nodes {
+		if n.up && n.node.NumGPUs() > maxGPUs {
+			maxGPUs = n.node.NumGPUs()
+		}
+	}
+	var slots []slot
+	for g := 0; g < maxGPUs; g++ {
+		for _, n := range f.nodes {
+			if n.up && g < n.node.NumGPUs() {
+				slots = append(slots, slot{node: n.id, gpu: g})
+			}
+		}
+	}
+
+	targets, unplaced := a.placer.place(demands, slots)
+	f.res.Unplaced += unplaced
+
+	acts := diff(f.liveHandles(), targets)
+	proc, kern := reconfigBill(acts, f.cfg.Costs)
+	f.res.ProcessScopedReload += proc
+	f.res.KernelScopedReload += kern
+
+	for _, ra := range acts.resize {
+		f.drainReplica(ra.old)
+		// Kernel-scoped resize: the replacement serves immediately — the
+		// next kernel simply launches with the new partition budget.
+		f.spawnReplica(ra.to, now)
+		f.res.Resizes++
+		f.tel.cResizes().Inc()
+	}
+	for _, t := range acts.migrate {
+		readyAt := now
+		if a.epochs > 1 {
+			// Initial placement is a cold deploy (weights staged before
+			// traffic); later moves pay the model load before serving.
+			readyAt = now + f.cfg.Costs.ModelLoad
+		}
+		f.spawnReplica(t, readyAt)
+		f.res.Migrations++
+		f.tel.cMigrations().Inc()
+	}
+	for _, h := range acts.drain {
+		f.drainReplica(h)
+		f.res.Drains++
+		f.tel.cDrains().Inc()
+	}
+}

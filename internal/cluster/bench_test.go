@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+
+	"krisp/internal/cluster/workload"
+	"krisp/internal/models"
+	"krisp/internal/reconfig"
+	"krisp/internal/sim"
+)
+
+func benchConfig(b *testing.B, parallel int) Config {
+	b.Helper()
+	m, ok := models.ByName("squeezenet")
+	if !ok {
+		b.Fatal("squeezenet missing")
+	}
+	m2, ok := models.ByName("mobilenet")
+	if !ok {
+		b.Fatal("mobilenet missing")
+	}
+	return Config{
+		Nodes:       3,
+		GPUsPerNode: 2,
+		Workloads: []Workload{
+			{Model: m, Batch: 8,
+				Gen: workload.Diurnal{Trough: 800, Peak: 5000, Period: 300 * sim.Millisecond}},
+			{Model: m2, Batch: 8, Gen: workload.Constant{RatePerSec: 1200}},
+		},
+		Policy:   SLOAware,
+		Tick:     2 * sim.Millisecond,
+		Epoch:    50 * sim.Millisecond,
+		Duration: 300 * sim.Millisecond,
+		Seed:     7,
+		Parallel: parallel,
+		Costs: reconfig.Costs{
+			PartitionSetup: 2 * sim.Millisecond,
+			ProcessStart:   3 * sim.Millisecond,
+			ModelLoad:      10 * sim.Millisecond,
+			SwapDowntime:   55 * sim.Microsecond,
+		},
+	}
+}
+
+// benchmarkFleet runs one full fleet experiment per iteration and reports
+// routed requests per wall-second — the fleet-throughput number tracked in
+// BENCH_PR5.json and the CI bench-smoke job.
+func benchmarkFleet(b *testing.B, parallel int) {
+	cfg := benchConfig(b, parallel)
+	// Planner profiling dominates cold runs; warm one fleet first so the
+	// loop measures simulation, not sweep construction (each New re-sweeps;
+	// that cost is part of a fleet build and belongs in the number).
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(cfg)
+		total += res.Routed
+	}
+	b.StopTimer()
+	if total == 0 {
+		b.Fatal("fleet routed nothing")
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "requests/s")
+}
+
+func BenchmarkFleetThroughputSerial(b *testing.B)   { benchmarkFleet(b, 1) }
+func BenchmarkFleetThroughputParallel(b *testing.B) { benchmarkFleet(b, 0) }
+
+// BenchmarkFleetRoutingDecision isolates the router's per-request cost:
+// pick + accounting on a standing replica set, no simulation behind it.
+func BenchmarkFleetRoutingDecision(b *testing.B) {
+	for _, pol := range Policies() {
+		b.Run(pol.String(), func(b *testing.B) {
+			r := newRouter(pol, 1, 1<<30, 0, nil, false)
+			m := &modelState{name: "m", batch: 8, sloUs: 20000}
+			for i := 0; i < 8; i++ {
+				h := &replicaHandle{id: i}
+				for j := 0; j < 64; j++ {
+					h.lat.add(float64(5000 + i*100 + j))
+				}
+				m.replicas = append(m.replicas, h)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := r.pick(m, 0)
+				h.outstanding++
+				if h.outstanding > 1<<20 {
+					for _, rh := range m.replicas {
+						rh.outstanding = 0
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,606 @@
+// Package cluster is the fleet layer above the single-node KRISP stack: a
+// set of simulated multi-GPU nodes behind an SLO-aware front-end router,
+// with a gpulet placer and an epoch-driven autoscaler above the per-device
+// CU-mask layer.
+//
+// KRISP right-sizes kernels on one GPU; serving millions of users takes
+// many GPUs across many nodes, and the decisions that matter there are
+// which partition of which GPU serves each request (ParvaGPU's regime) and
+// when placements change. The fleet controller advances every node in
+// lockstep ticks: requests arrive from deterministic workload generators,
+// the router admits and places them, nodes simulate concurrently (each
+// owns its engine, so parallel advancement is byte-identical to serial),
+// and at epoch boundaries the autoscaler replans against the trace, paying
+// reconfig costs for migrations and draining replicas on injected node
+// faults.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"krisp/internal/cluster/workload"
+	"krisp/internal/faults"
+	"krisp/internal/gpu"
+	"krisp/internal/hsa"
+	"krisp/internal/metrics"
+	"krisp/internal/models"
+	"krisp/internal/parallel"
+	"krisp/internal/profile"
+	"krisp/internal/reconfig"
+	"krisp/internal/sched"
+	"krisp/internal/server"
+	"krisp/internal/sim"
+	"krisp/internal/telemetry"
+	"math/rand"
+)
+
+// Workload is one model's serving requirement: a rate profile plus an SLO.
+type Workload struct {
+	Model models.Model
+	// Batch is the replica batch size. Zero means the calibration batch.
+	Batch int
+	// Gen is the request-rate profile driving both the arrival process and
+	// the autoscaler's forecasts.
+	Gen workload.Generator
+	// SLOUs is the per-request latency SLO in virtual microseconds; zero
+	// auto-sizes from the profiled isolated latency (2x the planner's QoS
+	// target plus the CPU-side batch costs).
+	SLOUs sim.Duration
+}
+
+// Config describes one fleet experiment.
+type Config struct {
+	// Nodes and GPUsPerNode shape the fleet. Defaults: 3 nodes, 2 GPUs.
+	Nodes, GPUsPerNode int
+	// Spec is the device model for every GPU; zero means MI50.
+	Spec gpu.DeviceSpec
+	// HSA is the runtime cost model; zero means hsa.DefaultConfig.
+	HSA hsa.Config
+	// Workloads lists the served models.
+	Workloads []Workload
+	// Policy is the routing policy under test.
+	Policy Policy
+	// Tick is the router's control interval: completions are pulled,
+	// queues drained, and arrivals routed once per tick. Zero means 2ms.
+	Tick sim.Duration
+	// Epoch is the autoscaler's replanning interval. Zero means 25 ticks.
+	Epoch sim.Duration
+	// Duration is total simulated fleet time. Zero means 6 epochs.
+	Duration sim.Duration
+	// Seed drives every random draw (arrivals, jitter, p2c sampling).
+	Seed int64
+	// Parallel bounds the worker pool that advances nodes concurrently;
+	// 0 picks GOMAXPROCS, 1 forces serial. Results are identical either
+	// way — each node owns its engine and RNGs, and the router only sees
+	// completions pulled at tick boundaries.
+	Parallel int
+	// Telemetry, when non-nil, exposes fleet gauges and counters (and the
+	// per-node serving stacks) on the hub's registry.
+	Telemetry *telemetry.Hub
+	// NodeFaults is the cluster-level fault timeline: node crashes and
+	// GPU-wide degradations.
+	NodeFaults []faults.NodeFault
+	// Costs is the reconfiguration cost model; zero means
+	// reconfig.DefaultCosts (10s-class reloads).
+	Costs reconfig.Costs
+	// Headroom pads the autoscaler's forecast rates so the fleet keeps
+	// slack for Poisson bursts and for the router to steer around slow
+	// replicas. Zero means 1.2 (20% overprovisioning); values below 1 are
+	// clamped to 1 (no headroom).
+	Headroom float64
+	// OutstandingCap is admission control's per-replica bound on routed
+	// but unfinished requests. Zero means 4 batches worth.
+	OutstandingCap int
+	// QueueCap bounds each model's router-side admission queue. Zero
+	// means 64.
+	QueueCap int
+	// Jitter is per-kernel duration noise on every node (default 0.04;
+	// negative disables).
+	Jitter float64
+	// RecordRouting captures every routing decision into
+	// Result.RoutingLog — the determinism tests compare these byte for
+	// byte across serial and parallel runs.
+	RecordRouting bool
+}
+
+// ModelResult is one model's fleet-level outcome.
+type ModelResult struct {
+	Model         string
+	Arrivals      int
+	Routed        int
+	Rejected      int
+	Completed     int
+	SLOViolations int
+	// Latency samples per-request latency (arrival to completion, us).
+	Latency metrics.Sample
+}
+
+// Result is the outcome of one fleet run.
+type Result struct {
+	Policy   Policy
+	Duration sim.Duration
+	Epochs   int
+
+	Arrivals      int
+	Routed        int
+	Rejected      int
+	Completed     int
+	Failed        int // lost to node faults
+	SLOViolations int
+
+	Migrations int
+	Resizes    int
+	Drains     int
+	Unplaced   int
+	NodeFaults int
+
+	// ProcessScopedReload / KernelScopedReload are the cumulative
+	// reconfiguration bills of the epoch replans under the two regimes
+	// (Fig. 2 at fleet scale): process-scoped instances reload on every
+	// resize and migration; kernel-scoped ones only load models on moves.
+	ProcessScopedReload sim.Duration
+	KernelScopedReload  sim.Duration
+
+	// Latency aggregates per-request latency across models.
+	Latency  metrics.Sample
+	PerModel []ModelResult
+
+	// EnergyJ sums node energy over the run.
+	EnergyJ float64
+
+	// RoutingLog holds one line per routing decision when
+	// Config.RecordRouting was set.
+	RoutingLog string
+}
+
+// BadRequests is the fleet quality metric the router policies compete on:
+// requests that were rejected, lost, or completed past their SLO.
+func (r *Result) BadRequests() int { return r.Rejected + r.Failed + r.SLOViolations }
+
+// GoodputRPS is the rate of requests completed within their SLO.
+func (r *Result) GoodputRPS() float64 {
+	return metrics.Throughput(r.Completed-r.SLOViolations, float64(r.Duration))
+}
+
+// fleetNode is one simulated machine plus its fleet-side state.
+type fleetNode struct {
+	id        int
+	node      *server.Node
+	up        bool
+	downUntil sim.Time // <0: down for good
+	handles   []*replicaHandle
+}
+
+// Fleet is a configured cluster experiment. Build with New, execute with
+// Run.
+type Fleet struct {
+	cfg     Config
+	planner *sched.Planner
+	nodes   []*fleetNode
+	router  *router
+	scaler  *autoscaler
+	tel     *fleetTelemetry
+	res     *Result
+
+	handles   []*replicaHandle // live + draining, ascending id
+	handleSeq int
+
+	downFaults []faults.NodeFault // NodeDown timeline, ascending At
+	faultIdx   int
+
+	arrivalRngs []*rand.Rand
+	arrivalBufs [][]sim.Time
+	complBuf    []server.Completion
+}
+
+// New validates the configuration and builds the fleet: planner, nodes
+// (with node-local fault plans lowered from GPUDegrade entries), router,
+// and autoscaler. No virtual time passes until Run.
+func New(cfg Config) *Fleet {
+	if len(cfg.Workloads) == 0 {
+		panic("cluster: no workloads")
+	}
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 3
+	}
+	if cfg.GPUsPerNode < 1 {
+		cfg.GPUsPerNode = 2
+	}
+	if cfg.Spec.Topo.TotalCUs() == 0 {
+		cfg.Spec = gpu.MI50Spec()
+	}
+	if cfg.HSA.PacketProcessTime == 0 {
+		cfg.HSA = hsa.DefaultConfig()
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 2 * sim.Millisecond
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 25 * cfg.Tick
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 6 * cfg.Epoch
+	}
+	if cfg.Costs == (reconfig.Costs{}) {
+		cfg.Costs = reconfig.DefaultCosts()
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Headroom == 0 {
+		cfg.Headroom = 1.2
+	} else if cfg.Headroom < 1 {
+		cfg.Headroom = 1
+	}
+	for i := range cfg.Workloads {
+		if cfg.Workloads[i].Batch < 1 {
+			cfg.Workloads[i].Batch = models.CalibrationBatch
+		}
+		if cfg.Workloads[i].Gen == nil {
+			panic(fmt.Sprintf("cluster: workload %s has no rate generator", cfg.Workloads[i].Model.Name))
+		}
+	}
+	if cfg.OutstandingCap <= 0 {
+		maxBatch := 0
+		for _, w := range cfg.Workloads {
+			if w.Batch > maxBatch {
+				maxBatch = w.Batch
+			}
+		}
+		cfg.OutstandingCap = 4 * maxBatch
+	}
+
+	planner := sched.NewPlanner(profile.Config{
+		Spec: cfg.Spec, Tolerance: 0.05, LaunchOverhead: cfg.HSA.PacketProcessTime,
+	})
+
+	names := make([]string, len(cfg.Workloads))
+	for i, w := range cfg.Workloads {
+		names[i] = w.Model.Name
+	}
+	tel := newFleetTelemetry(cfg.Telemetry, names, cfg.Nodes)
+
+	f := &Fleet{
+		cfg:     cfg,
+		planner: planner,
+		tel:     tel,
+		res:     &Result{Policy: cfg.Policy, Duration: cfg.Duration},
+		router:  newRouter(cfg.Policy, cfg.Seed, cfg.OutstandingCap, cfg.QueueCap, tel, cfg.RecordRouting),
+		scaler: &autoscaler{
+			placer:   &placer{planner: planner},
+			epoch:    cfg.Epoch,
+			headroom: cfg.Headroom,
+		},
+	}
+
+	// Per-model router state, with auto-sized SLOs.
+	pre, post := sim.Duration(150), sim.Duration(80)
+	for i, w := range cfg.Workloads {
+		slo := w.SLOUs
+		if slo <= 0 {
+			slo = 2*planner.SLOLatency(w.Model, w.Batch) + pre + post
+		}
+		f.router.models = append(f.router.models, &modelState{
+			index: i, name: w.Model.Name, batch: w.Batch, sloUs: float64(slo),
+		})
+		f.arrivalRngs = append(f.arrivalRngs,
+			rand.New(rand.NewSource(cfg.Seed+int64(i)*104729+17)))
+		f.arrivalBufs = append(f.arrivalBufs, nil)
+	}
+
+	// Lower GPUDegrade faults into node-local plans; keep NodeDown events
+	// on the fleet timeline.
+	nodePlans := make([]faults.Plan, cfg.Nodes)
+	for _, nf := range cfg.NodeFaults {
+		if nf.Node < 0 || nf.Node >= cfg.Nodes {
+			continue
+		}
+		switch nf.Kind {
+		case faults.GPUDegrade:
+			if nf.GPU < 0 || nf.GPU >= cfg.GPUsPerNode {
+				continue
+			}
+			nodePlans[nf.Node].CUDegrades = append(
+				nodePlans[nf.Node].CUDegrades, nf.CUDegrades(cfg.Spec.Topo)...)
+		case faults.NodeDown:
+			f.downFaults = append(f.downFaults, nf)
+		}
+	}
+	sort.SliceStable(f.downFaults, func(i, j int) bool {
+		return f.downFaults[i].At < f.downFaults[j].At
+	})
+
+	for i := 0; i < cfg.Nodes; i++ {
+		var plan *faults.Plan
+		if !nodePlans[i].Empty() {
+			p := nodePlans[i]
+			p.Seed = cfg.Seed + int64(i)
+			plan = &p
+		}
+		f.nodes = append(f.nodes, &fleetNode{
+			id: i,
+			up: true,
+			node: server.NewNode(server.NodeConfig{
+				Spec:      cfg.Spec,
+				HSA:       cfg.HSA,
+				GPUs:      cfg.GPUsPerNode,
+				Index:     i,
+				Seed:      cfg.Seed + int64(i)*31337 + 7,
+				Jitter:    cfg.Jitter,
+				Telemetry: cfg.Telemetry,
+				Faults:    plan,
+			}),
+		})
+	}
+	f.tel.gNodesUp().Set(int64(cfg.Nodes))
+	return f
+}
+
+// Run executes the fleet experiment and returns its result.
+func (f *Fleet) Run() *Result {
+	ticks := int(f.cfg.Duration / f.cfg.Tick)
+	for tick := 0; tick < ticks; tick++ {
+		now := sim.Time(tick) * f.cfg.Tick
+		f.pullCompletions()
+		f.applyFaults(now)
+		f.scaler.maybeReplan(f, now)
+		f.reap()
+		f.routeTick(now, now+f.cfg.Tick)
+		f.observe()
+		f.advance(now + f.cfg.Tick)
+	}
+	f.pullCompletions()
+	f.finish()
+	return f.res
+}
+
+// liveHandles returns the handles the placer should diff against.
+func (f *Fleet) liveHandles() []*replicaHandle { return f.handles }
+
+// spawnReplica places one gpulet on its node.
+func (f *Fleet) spawnReplica(t target, readyAt sim.Time) {
+	n := f.nodes[t.node]
+	m := f.modelByName(t.model)
+	rep := n.node.AddReplica(server.ReplicaSpec{
+		Model: f.cfg.Workloads[m.index].Model,
+		Batch: t.batch,
+		GPU:   t.gpu,
+		CUs:   t.cus,
+	})
+	h := &replicaHandle{
+		id:      f.handleSeq,
+		node:    t.node,
+		gpu:     t.gpu,
+		nodeRef: n,
+		model:   t.model,
+		cus:     t.cus,
+		rep:     rep,
+		readyAt: readyAt,
+	}
+	f.handleSeq++
+	f.handles = append(f.handles, h)
+	n.handles = append(n.handles, h)
+	m.replicas = append(m.replicas, h)
+}
+
+// drainReplica starts a graceful drain: no new routing, queued and
+// in-flight work completes, then reap removes the handle.
+func (f *Fleet) drainReplica(h *replicaHandle) {
+	h.draining = true
+	h.rep.Drain()
+}
+
+func (f *Fleet) modelByName(name string) *modelState {
+	for _, m := range f.router.models {
+		if m.name == name {
+			return m
+		}
+	}
+	panic("cluster: unknown model " + name)
+}
+
+// pullCompletions collects finished requests from every live replica, in
+// handle order, and feeds them to the router's accounting.
+func (f *Fleet) pullCompletions() {
+	for _, h := range f.handles {
+		if h.dead {
+			continue
+		}
+		f.complBuf = h.rep.TakeCompletions(f.complBuf[:0])
+		m := f.modelByName(h.model)
+		for _, c := range f.complBuf {
+			f.router.absorb(m, h, c)
+		}
+	}
+}
+
+// applyFaults fires due NodeDown events and recovers expired ones.
+func (f *Fleet) applyFaults(now sim.Time) {
+	for f.faultIdx < len(f.downFaults) && f.downFaults[f.faultIdx].At <= now {
+		nf := f.downFaults[f.faultIdx]
+		f.faultIdx++
+		n := f.nodes[nf.Node]
+		if !n.up {
+			continue
+		}
+		n.up = false
+		if nf.Duration > 0 {
+			n.downUntil = nf.At + nf.Duration
+		} else {
+			n.downUntil = -1
+		}
+		for _, h := range n.handles {
+			if h.dead {
+				continue
+			}
+			h.rep.Kill()
+			f.res.Failed += h.outstanding
+			f.tel.cFailed().Add(uint64(h.outstanding))
+			h.outstanding = 0
+			h.dead = true
+			h.draining = true
+		}
+		f.res.NodeFaults++
+		f.tel.cNodeFaults().Inc()
+		f.tel.gNodesUp().Add(-1)
+	}
+	for _, n := range f.nodes {
+		if !n.up && n.downUntil >= 0 && now >= n.downUntil {
+			n.up = true
+			n.downUntil = 0
+			n.node.RunUntil(now) // fast-forward the frozen clock, empty
+			f.tel.gNodesUp().Add(1)
+		}
+	}
+}
+
+// reap removes handles that finished draining (or died) from every index.
+func (f *Fleet) reap() {
+	compact := func(hs []*replicaHandle) []*replicaHandle {
+		out := hs[:0]
+		for _, h := range hs {
+			if !h.dead {
+				out = append(out, h)
+			}
+		}
+		return out
+	}
+	changed := false
+	for _, h := range f.handles {
+		if !h.dead && h.draining && h.rep.Drained() {
+			h.dead = true
+		}
+		if h.dead {
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	f.handles = compact(f.handles)
+	for _, n := range f.nodes {
+		n.handles = compact(n.handles)
+	}
+	for _, m := range f.router.models {
+		m.replicas = compact(m.replicas)
+	}
+}
+
+// routeTick drains admission queues, then generates and routes the tick's
+// arrivals. Arrivals across models are merged by (time, model index) so the
+// decision order is deterministic; each routed request is scheduled onto
+// its node at the exact arrival timestamp.
+func (f *Fleet) routeTick(from, to sim.Time) {
+	for _, m := range f.router.models {
+		f.router.drainQueue(m, from)
+	}
+	for i, w := range f.cfg.Workloads {
+		f.arrivalBufs[i] = workload.Arrivals(w.Gen, f.arrivalRngs[i], from, to, f.arrivalBufs[i][:0])
+	}
+	// k-way merge by (time, model index).
+	idx := make([]int, len(f.arrivalBufs))
+	for {
+		best := -1
+		var bestT sim.Time
+		for i := range f.arrivalBufs {
+			if idx[i] >= len(f.arrivalBufs[i]) {
+				continue
+			}
+			t := f.arrivalBufs[i][idx[i]]
+			if best < 0 || t < bestT {
+				best, bestT = i, t
+			}
+		}
+		if best < 0 {
+			return
+		}
+		idx[best]++
+		f.res.Arrivals++
+		f.router.route(f.router.models[best], bestT, from)
+	}
+}
+
+// observe samples fleet gauges once per tick.
+func (f *Fleet) observe() {
+	if f.tel == nil {
+		return
+	}
+	for _, m := range f.router.models {
+		live := 0
+		for _, h := range m.replicas {
+			if !h.draining {
+				live++
+			}
+		}
+		f.tel.setReplicas(m.name, live)
+	}
+	for _, n := range f.nodes {
+		if !n.up {
+			continue
+		}
+		outstanding := 0
+		for _, h := range n.handles {
+			outstanding += h.outstanding
+		}
+		f.tel.observeNode(n.id, outstanding)
+	}
+}
+
+// advance runs every up node to t, concurrently when configured. Nodes
+// share nothing — each owns its engine, devices, and RNGs — so the merge
+// is trivially deterministic: results are read back in node order after
+// the barrier.
+func (f *Fleet) advance(t sim.Time) {
+	up := make([]*fleetNode, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		if n.up {
+			up = append(up, n)
+		}
+	}
+	err := parallel.Each(context.Background(), f.cfg.Parallel, len(up), func(_ context.Context, i int) error {
+		up[i].node.RunUntil(t)
+		return nil
+	})
+	if err != nil {
+		panic(err) // only node-sim panics reach here; re-raise them
+	}
+}
+
+// finish folds per-model state into the result.
+func (f *Fleet) finish() {
+	f.res.Epochs = f.scaler.epochs
+	for _, m := range f.router.models {
+		// Requests still queued at the end never completed; count them
+		// rejected so totals balance.
+		m.rejected += len(m.queue)
+		m.queue = nil
+		f.res.Routed += m.routed
+		f.res.Rejected += m.rejected
+		f.res.Completed += m.completed
+		f.res.SLOViolations += m.sloViolations
+		mr := ModelResult{
+			Model:         m.name,
+			Arrivals:      m.arrivals,
+			Routed:        m.routed,
+			Rejected:      m.rejected,
+			Completed:     m.completed,
+			SLOViolations: m.sloViolations,
+			Latency:       m.latency,
+		}
+		for _, v := range m.latency.Values() {
+			f.res.Latency.Add(v)
+		}
+		f.res.PerModel = append(f.res.PerModel, mr)
+	}
+	for _, n := range f.nodes {
+		f.res.EnergyJ += n.node.EnergyJ()
+	}
+	if f.router.log != nil {
+		f.res.RoutingLog = f.router.log.String()
+	}
+}
+
+// Run builds and executes a fleet experiment in one call.
+func Run(cfg Config) *Result { return New(cfg).Run() }

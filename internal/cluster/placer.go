@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"sort"
+
+	"krisp/internal/reconfig"
+	"krisp/internal/sched"
+	"krisp/internal/sim"
+)
+
+// slot is one placeable GPU: a device on a currently-up node.
+type slot struct {
+	node, gpu int
+}
+
+// target is one desired gpulet after an epoch replan.
+type target struct {
+	model string
+	batch int
+	cus   int
+	node  int
+	gpu   int
+}
+
+// placer turns demand forecasts into gpulet placements. Sizing comes from
+// sched.Planner (the Gpulet-style control plane: CUs per instance and
+// instance count for each demand), but packing is the fleet's own: the
+// single-server planner bin-packs into the fewest GPUs, which is wrong at
+// cluster scale — co-locating every replica on one device means a single
+// node fault strands all of a model's capacity. Dead nodes simply
+// contribute no slots, which is how a crashed node's replicas get
+// re-placed elsewhere at the next epoch.
+type placer struct {
+	planner *sched.Planner
+}
+
+// place sizes every demand at the forecast rates and spreads the resulting
+// gpulets across the available slots worst-fit-decreasing: largest
+// instances first, each onto the slot with the most free CUs (ties break
+// toward the lowest slot index, and slots are interleaved gpu-major by the
+// caller, so equal-freedom ties walk across nodes before doubling up).
+// It returns the placed targets and the count of gpulets that did not fit
+// (unplaced demand the router will shed).
+func (p *placer) place(demands []sched.Demand, slots []slot) (placed []target, unplaced int) {
+	if len(slots) == 0 || len(demands) == 0 {
+		return nil, 0
+	}
+	type inst struct {
+		model string
+		batch int
+		cus   int
+	}
+	var insts []inst
+	for _, d := range demands {
+		s := p.planner.Sizing(d.Model, d.Batch, d.RatePerSec)
+		for i := 0; i < s.Instances; i++ {
+			insts = append(insts, inst{model: d.Model.Name, batch: d.Batch, cus: s.CUs})
+		}
+	}
+	sort.SliceStable(insts, func(i, j int) bool {
+		if insts[i].cus != insts[j].cus {
+			return insts[i].cus > insts[j].cus
+		}
+		return insts[i].model < insts[j].model
+	})
+
+	free := make([]int, len(slots))
+	for i := range free {
+		free[i] = p.planner.TotalCUs()
+	}
+	for _, in := range insts {
+		best := -1
+		for si := range slots {
+			if free[si] >= in.cus && (best < 0 || free[si] > free[best]) {
+				best = si
+			}
+		}
+		if best < 0 {
+			unplaced++
+			continue
+		}
+		free[best] -= in.cus
+		placed = append(placed, target{
+			model: in.model, batch: in.batch, cus: in.cus,
+			node: slots[best].node, gpu: slots[best].gpu,
+		})
+	}
+	return placed, unplaced
+}
+
+// diffActions is the migration bill of applying one epoch's placement.
+type diffActions struct {
+	keep    []*replicaHandle
+	resize  []resizeAction  // drain old, spawn same slot at new size (free)
+	migrate []target        // spawn on a new slot (model load paid)
+	drain   []*replicaHandle
+}
+
+type resizeAction struct {
+	old *replicaHandle
+	to  target
+}
+
+// diff matches the current live replica set against the placed targets.
+// Matching is per (node, gpu, model): equal-size pairs are kept, unequal
+// pairs become in-place resizes (free for kernel-scoped instances — the
+// next kernel simply right-sizes into the new budget), unmatched targets
+// are migrations (the model must load onto that GPU), and unmatched
+// replicas drain.
+func diff(current []*replicaHandle, targets []target) diffActions {
+	type key struct {
+		node, gpu int
+		model     string
+	}
+	curByKey := make(map[key][]*replicaHandle)
+	for _, h := range current {
+		if h.dead || h.draining {
+			continue
+		}
+		k := key{h.node, h.gpu, h.model}
+		curByKey[k] = append(curByKey[k], h)
+	}
+	tgtByKey := make(map[key][]target)
+	for _, t := range targets {
+		k := key{t.node, t.gpu, t.model}
+		tgtByKey[k] = append(tgtByKey[k], t)
+	}
+
+	var acts diffActions
+	for k, tgts := range tgtByKey {
+		curs := curByKey[k]
+		delete(curByKey, k)
+		// Deterministic matching: ascending CU size on both sides; exact
+		// sizes pair first, leftovers pair up as resizes.
+		sort.SliceStable(tgts, func(i, j int) bool { return tgts[i].cus < tgts[j].cus })
+		sort.SliceStable(curs, func(i, j int) bool {
+			if curs[i].cus != curs[j].cus {
+				return curs[i].cus < curs[j].cus
+			}
+			return curs[i].id < curs[j].id
+		})
+		usedCur := make([]bool, len(curs))
+		usedTgt := make([]bool, len(tgts))
+		for ti, t := range tgts {
+			for ci, c := range curs {
+				if !usedCur[ci] && c.cus == t.cus {
+					usedCur[ci] = true
+					usedTgt[ti] = true
+					acts.keep = append(acts.keep, c)
+					break
+				}
+			}
+		}
+		var freeCur []*replicaHandle
+		for ci, c := range curs {
+			if !usedCur[ci] {
+				freeCur = append(freeCur, c)
+			}
+		}
+		for ti, t := range tgts {
+			if usedTgt[ti] {
+				continue
+			}
+			if len(freeCur) > 0 {
+				acts.resize = append(acts.resize, resizeAction{old: freeCur[0], to: t})
+				freeCur = freeCur[1:]
+			} else {
+				acts.migrate = append(acts.migrate, t)
+			}
+		}
+		acts.drain = append(acts.drain, freeCur...)
+	}
+	for _, curs := range curByKey {
+		acts.drain = append(acts.drain, curs...)
+	}
+	// Deterministic apply order regardless of map iteration.
+	sort.SliceStable(acts.keep, func(i, j int) bool { return acts.keep[i].id < acts.keep[j].id })
+	sort.SliceStable(acts.drain, func(i, j int) bool { return acts.drain[i].id < acts.drain[j].id })
+	sort.SliceStable(acts.resize, func(i, j int) bool { return acts.resize[i].old.id < acts.resize[j].old.id })
+	sort.SliceStable(acts.migrate, func(i, j int) bool {
+		a, b := acts.migrate[i], acts.migrate[j]
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.gpu != b.gpu {
+			return a.gpu < b.gpu
+		}
+		if a.model != b.model {
+			return a.model < b.model
+		}
+		return a.cus < b.cus
+	})
+	return acts
+}
+
+// reconfigBill accounts one epoch's actions under both reconfiguration
+// regimes: process-scoped instances reload for every resize and migration;
+// kernel-scoped instances resize for free and only pay the model load on
+// migrations (the paper's Fig. 2 argument, now at fleet scale).
+func reconfigBill(acts diffActions, costs reconfig.Costs) (processScoped, kernelScoped sim.Duration) {
+	n := len(acts.resize) + len(acts.migrate)
+	processScoped = sim.Duration(n) * costs.ReloadTime()
+	kernelScoped = sim.Duration(len(acts.migrate)) * costs.ModelLoad
+	return processScoped, kernelScoped
+}

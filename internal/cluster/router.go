@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"krisp/internal/metrics"
+	"krisp/internal/server"
+	"krisp/internal/sim"
+)
+
+// Policy selects the front-end routing strategy.
+type Policy int
+
+const (
+	// RoundRobin cycles through a model's ready replicas.
+	RoundRobin Policy = iota
+	// LeastOutstanding routes to the replica with the fewest
+	// router-accounted outstanding requests.
+	LeastOutstanding
+	// PowerOfTwo samples two ready replicas and takes the one with fewer
+	// outstanding requests — the classic load-balancing compromise between
+	// RoundRobin's bluntness and LeastOutstanding's herd behaviour.
+	PowerOfTwo
+	// SLOAware predicts each replica's completion latency from its recent
+	// observed P95 and outstanding backlog and routes to the minimum — the
+	// policy that notices a degraded GPU and steers around it.
+	SLOAware
+)
+
+// Policies lists every routing policy.
+func Policies() []Policy {
+	return []Policy{RoundRobin, LeastOutstanding, PowerOfTwo, SLOAware}
+}
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastOutstanding:
+		return "least-outstanding"
+	case PowerOfTwo:
+		return "p2c"
+	case SLOAware:
+		return "slo-aware"
+	default:
+		return "unknown"
+	}
+}
+
+// PolicyByName parses a policy name as printed by String.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown routing policy %q", name)
+}
+
+// latWindow keeps the most recent completed-request latencies of one
+// replica and serves their P95 with a lazily-sorted scratch copy.
+type latWindow struct {
+	buf     [64]float64
+	n, next int
+	dirty   bool
+	p95v    float64
+}
+
+func (w *latWindow) add(v float64) {
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.dirty = true
+}
+
+// p95 returns the window's 95th percentile, 0 when empty.
+func (w *latWindow) p95() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	if w.dirty {
+		var scratch [64]float64
+		s := scratch[:w.n]
+		copy(s, w.buf[:w.n])
+		sort.Float64s(s)
+		idx := (w.n*95 + 99) / 100
+		if idx > 0 {
+			idx--
+		}
+		w.p95v = s[idx]
+		w.dirty = false
+	}
+	return w.p95v
+}
+
+// replicaHandle is the router's view of one placed gpulet. The outstanding
+// count is router-side accounting (incremented on route, decremented when
+// the completion is pulled) — the router never peeks into a node
+// mid-advancement, which is what keeps concurrent node simulation
+// deterministic.
+type replicaHandle struct {
+	id        int // stable fleet-wide creation order
+	node, gpu int
+	nodeRef   *fleetNode
+	model     string
+	cus       int
+	rep       *server.Replica
+	readyAt   sim.Time
+	draining  bool
+	dead      bool
+
+	outstanding int
+	routed      int
+	lat         latWindow
+}
+
+func (h *replicaHandle) routable(now sim.Time) bool {
+	return !h.dead && !h.draining && h.readyAt <= now
+}
+
+// queuedReq is one admission-queued request.
+type queuedReq struct {
+	arrival sim.Time
+}
+
+// modelState is the router's per-model bookkeeping: the live replica set,
+// the admission queue, and the SLO target.
+type modelState struct {
+	index    int
+	name     string
+	batch    int
+	sloUs    float64
+	rrNext   int
+	replicas []*replicaHandle
+	queue    []queuedReq
+
+	arrivals      int
+	routed        int
+	rejected      int
+	completed     int
+	sloViolations int
+	latency       metrics.Sample
+}
+
+// router is the SLO-aware front end: per-model queues, pluggable replica
+// choice, and admission control. It is strictly single-goroutine; nodes
+// only communicate with it through pulled completions.
+type router struct {
+	policy         Policy
+	rng            *rand.Rand // power-of-two sampling only
+	outstandingCap int        // per replica, in requests
+	queueCap       int        // per model
+	models         []*modelState
+	tel            *fleetTelemetry
+
+	// log records every routing decision when non-nil (determinism tests,
+	// debugging). One line per request: "<seq> <model>-><replica id>" or
+	// "<seq> <model>->reject".
+	log *strings.Builder
+	seq int
+}
+
+func newRouter(policy Policy, seed int64, outstandingCap, queueCap int, tel *fleetTelemetry, record bool) *router {
+	r := &router{
+		policy:         policy,
+		rng:            rand.New(rand.NewSource(seed ^ 0x726f757465)), // "route"
+		outstandingCap: outstandingCap,
+		queueCap:       queueCap,
+		tel:            tel,
+	}
+	if record {
+		r.log = &strings.Builder{}
+	}
+	return r
+}
+
+// pick selects a routable replica with admission headroom, or nil when
+// every candidate is at its outstanding cap (the request then queues).
+func (r *router) pick(m *modelState, now sim.Time) *replicaHandle {
+	switch r.policy {
+	case RoundRobin:
+		n := len(m.replicas)
+		for i := 0; i < n; i++ {
+			h := m.replicas[(m.rrNext+i)%n]
+			if h.routable(now) && h.outstanding < r.outstandingCap {
+				m.rrNext = (m.rrNext + i + 1) % n
+				return h
+			}
+		}
+		return nil
+
+	case LeastOutstanding:
+		var best *replicaHandle
+		for _, h := range m.replicas {
+			if !h.routable(now) || h.outstanding >= r.outstandingCap {
+				continue
+			}
+			if best == nil || h.outstanding < best.outstanding {
+				best = h
+			}
+		}
+		return best
+
+	case PowerOfTwo:
+		var ready []*replicaHandle
+		for _, h := range m.replicas {
+			if h.routable(now) {
+				ready = append(ready, h)
+			}
+		}
+		if len(ready) == 0 {
+			return nil
+		}
+		a := ready[r.rng.Intn(len(ready))]
+		b := ready[r.rng.Intn(len(ready))]
+		if b.outstanding < a.outstanding {
+			a, b = b, a
+		}
+		if a.outstanding < r.outstandingCap {
+			return a
+		}
+		if b.outstanding < r.outstandingCap {
+			return b
+		}
+		return nil
+
+	case SLOAware:
+		var best *replicaHandle
+		bestScore := 0.0
+		for _, h := range m.replicas {
+			if !h.routable(now) || h.outstanding >= r.outstandingCap {
+				continue
+			}
+			// Predicted completion latency: the replica's recently observed
+			// request P95 (which already folds in its service speed and
+			// typical queueing) scaled by how many batches the backlog
+			// represents. A replica with no history gets a neutral prior of
+			// half the SLO (the expected healthy latency) — scoring it 0
+			// would herd every arrival onto fresh replicas no matter how
+			// deep their backlog grew.
+			p95 := h.lat.p95()
+			if h.lat.n == 0 {
+				p95 = m.sloUs / 2
+			}
+			waves := 1 + float64(h.outstanding)/float64(m.batch)
+			score := p95 * waves
+			if best == nil || score < bestScore || (score == bestScore && h.id < best.id) {
+				best, bestScore = h, score
+			}
+		}
+		return best
+
+	default:
+		panic("cluster: unknown policy")
+	}
+}
+
+// route admits one request that arrived at the given time: hand it to a
+// replica, queue it, or reject it. Routed requests are scheduled onto the
+// chosen replica's node at their arrival timestamp.
+func (r *router) route(m *modelState, arrival sim.Time, now sim.Time) {
+	r.seq++
+	m.arrivals++
+	if h := r.pick(m, now); h != nil {
+		r.send(m, h, arrival)
+		return
+	}
+	if len(m.queue) < r.queueCap {
+		m.queue = append(m.queue, queuedReq{arrival: arrival})
+		return
+	}
+	m.rejected++
+	r.tel.cRejected().Inc()
+	if r.log != nil {
+		fmt.Fprintf(r.log, "%d %s->reject\n", r.seq, m.name)
+	}
+}
+
+// send commits one request to a replica.
+func (r *router) send(m *modelState, h *replicaHandle, arrival sim.Time) {
+	h.outstanding++
+	h.routed++
+	m.routed++
+	r.tel.cRouted().Inc()
+	if r.log != nil {
+		fmt.Fprintf(r.log, "%d %s->%d\n", r.seq, m.name, h.id)
+	}
+	rep := h.rep
+	at := arrival
+	h.nodeRef.node.Schedule(at, func() { rep.Submit(at) })
+}
+
+// drainQueue re-attempts queued requests (oldest first) and sheds the ones
+// whose wait already exceeds the model's SLO — they cannot complete in
+// time, so admission control fails them fast instead of letting them rot.
+func (r *router) drainQueue(m *modelState, now sim.Time) {
+	keep := m.queue[:0]
+	for i := range m.queue {
+		q := m.queue[i]
+		if float64(now-q.arrival) > m.sloUs {
+			m.rejected++
+			r.tel.cRejected().Inc()
+			continue
+		}
+		if h := r.pick(m, now); h != nil {
+			r.seq++
+			r.send(m, h, q.arrival)
+			continue
+		}
+		keep = append(keep, q)
+	}
+	m.queue = keep
+}
+
+// absorb processes one pulled completion.
+func (r *router) absorb(m *modelState, h *replicaHandle, c server.Completion) {
+	if h.outstanding > 0 {
+		h.outstanding--
+	}
+	lat := float64(c.End - c.Arrival)
+	h.lat.add(lat)
+	m.completed++
+	m.latency.Add(lat)
+	r.tel.cCompleted().Inc()
+	if lat > m.sloUs {
+		m.sloViolations++
+		r.tel.cSLO().Inc()
+	}
+}

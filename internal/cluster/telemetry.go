@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+
+	"krisp/internal/telemetry"
+)
+
+// fleetTelemetry mirrors the fleet controller's counters into the live
+// metrics registry. All fields are nil-safe handles: a nil hub yields a
+// nil *fleetTelemetry whose methods no-op, and simulation results are
+// byte-identical with telemetry on or off (it only observes).
+type fleetTelemetry struct {
+	routed        *telemetry.Counter
+	rejected      *telemetry.Counter
+	completed     *telemetry.Counter
+	failed        *telemetry.Counter
+	sloViolations *telemetry.Counter
+	migrations    *telemetry.Counter
+	resizes       *telemetry.Counter
+	drains        *telemetry.Counter
+	nodeFaults    *telemetry.Counter
+
+	nodesUp  *telemetry.Gauge
+	replicas map[string]*telemetry.Gauge // per model
+	// queueDepth samples each node's outstanding requests once per tick.
+	queueDepth []*telemetry.Histogram
+}
+
+func newFleetTelemetry(hub *telemetry.Hub, modelNames []string, nodes int) *fleetTelemetry {
+	reg := hub.Registry()
+	if reg == nil {
+		return nil
+	}
+	t := &fleetTelemetry{
+		routed:        reg.Counter("krisp_fleet_routed_total", "requests routed to a replica"),
+		rejected:      reg.Counter("krisp_fleet_rejected_total", "requests rejected by admission control or shed from the queue"),
+		completed:     reg.Counter("krisp_fleet_completed_total", "requests completed"),
+		failed:        reg.Counter("krisp_fleet_failed_total", "requests lost to node faults"),
+		sloViolations: reg.Counter("krisp_fleet_slo_violations_total", "completed requests whose latency exceeded the model SLO"),
+		migrations:    reg.Counter("krisp_fleet_migrations_total", "replicas placed onto a new GPU (model load paid)"),
+		resizes:       reg.Counter("krisp_fleet_resizes_total", "replicas resized in place (free under kernel-scoped instances)"),
+		drains:        reg.Counter("krisp_fleet_drains_total", "replicas drained out of the placement"),
+		nodeFaults:    reg.Counter("krisp_fleet_node_faults_total", "node-level faults applied"),
+		nodesUp:       reg.Gauge("krisp_fleet_nodes_up", "nodes currently serving"),
+		replicas:      make(map[string]*telemetry.Gauge, len(modelNames)),
+	}
+	for _, m := range modelNames {
+		t.replicas[m] = reg.Gauge(
+			fmt.Sprintf(`krisp_fleet_replicas{model="%s"}`, m),
+			"live replicas per model")
+	}
+	t.queueDepth = make([]*telemetry.Histogram, nodes)
+	for n := range t.queueDepth {
+		t.queueDepth[n] = reg.Histogram(
+			fmt.Sprintf(`krisp_fleet_node_outstanding{node="%d"}`, n),
+			"outstanding requests on the node, sampled per tick",
+			telemetry.QueueDepthBuckets())
+	}
+	return t
+}
+
+func (t *fleetTelemetry) observeNode(node int, outstanding int) {
+	if t == nil || node < 0 || node >= len(t.queueDepth) {
+		return
+	}
+	t.queueDepth[node].Observe(float64(outstanding))
+}
+
+func (t *fleetTelemetry) setReplicas(model string, n int) {
+	if t == nil {
+		return
+	}
+	t.replicas[model].Set(int64(n))
+}
+
+// counter accessors tolerate a nil receiver so call sites stay unguarded.
+func (t *fleetTelemetry) cRouted() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.routed
+}
+func (t *fleetTelemetry) cRejected() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.rejected
+}
+func (t *fleetTelemetry) cCompleted() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.completed
+}
+func (t *fleetTelemetry) cFailed() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.failed
+}
+func (t *fleetTelemetry) cSLO() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.sloViolations
+}
+func (t *fleetTelemetry) cMigrations() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.migrations
+}
+func (t *fleetTelemetry) cResizes() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.resizes
+}
+func (t *fleetTelemetry) cDrains() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.drains
+}
+func (t *fleetTelemetry) cNodeFaults() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.nodeFaults
+}
+func (t *fleetTelemetry) gNodesUp() *telemetry.Gauge {
+	if t == nil {
+		return nil
+	}
+	return t.nodesUp
+}

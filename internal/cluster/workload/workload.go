@@ -1,0 +1,131 @@
+// Package workload generates deterministic request-arrival traces for the
+// cluster fleet simulation: Poisson arrivals whose instantaneous rate
+// follows a constant, diurnal (sinusoidal), or bursty profile, or any
+// composition of the three.
+//
+// Arrival times are drawn by thinning a homogeneous Poisson process at the
+// profile's peak rate, so any non-negative bounded rate function works and
+// a given (generator, seed, window) triple always yields the same trace —
+// the property the cluster's determinism tests lean on.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"krisp/internal/sim"
+)
+
+// Generator is a time-varying request-rate profile. Rate must be
+// non-negative and bounded above by MaxRate over any window it is asked
+// about.
+type Generator interface {
+	// Rate returns the instantaneous arrival rate (requests/second) at
+	// virtual time t.
+	Rate(t sim.Time) float64
+	// MaxRate returns an upper bound on Rate over all t — the thinning
+	// envelope.
+	MaxRate() float64
+}
+
+// Constant is a fixed-rate Poisson profile.
+type Constant struct {
+	RatePerSec float64
+}
+
+func (c Constant) Rate(sim.Time) float64 { return c.RatePerSec }
+func (c Constant) MaxRate() float64      { return c.RatePerSec }
+
+// Diurnal is a day/night sinusoid: rate oscillates between Trough and Peak
+// with the given Period. Phase shifts the cycle start (0 starts at the
+// trough).
+type Diurnal struct {
+	Trough, Peak float64
+	Period       sim.Duration
+	Phase        float64 // radians
+}
+
+func (d Diurnal) Rate(t sim.Time) float64 {
+	if d.Period <= 0 {
+		return d.Trough
+	}
+	// 0.5*(1-cos) sweeps 0→1→0 over one period, starting at 0.
+	frac := 0.5 * (1 - math.Cos(2*math.Pi*float64(t)/float64(d.Period)+d.Phase))
+	return d.Trough + (d.Peak-d.Trough)*frac
+}
+
+func (d Diurnal) MaxRate() float64 { return math.Max(d.Trough, d.Peak) }
+
+// Burst overlays rectangular bursts on a base profile: every Every of
+// virtual time, the rate is multiplied by Factor for Length.
+type Burst struct {
+	Base   Generator
+	Every  sim.Duration
+	Length sim.Duration
+	Factor float64
+}
+
+func (b Burst) Rate(t sim.Time) float64 {
+	r := b.Base.Rate(t)
+	if b.Every <= 0 || b.Length <= 0 || b.Factor <= 1 {
+		return r
+	}
+	if math.Mod(float64(t), float64(b.Every)) < float64(b.Length) {
+		return r * b.Factor
+	}
+	return r
+}
+
+func (b Burst) MaxRate() float64 {
+	f := b.Factor
+	if f < 1 {
+		f = 1
+	}
+	return b.Base.MaxRate() * f
+}
+
+// Scale multiplies a base profile by a constant factor.
+type Scale struct {
+	Base   Generator
+	Factor float64
+}
+
+func (s Scale) Rate(t sim.Time) float64 { return s.Base.Rate(t) * s.Factor }
+func (s Scale) MaxRate() float64        { return s.Base.MaxRate() * s.Factor }
+
+// Arrivals appends every arrival in [from, to) to buf and returns it,
+// sampling the generator's inhomogeneous Poisson process by thinning: a
+// homogeneous candidate stream at MaxRate is kept with probability
+// Rate(t)/MaxRate. The rng is consumed deterministically — equal (g, rng
+// state, window) triples produce identical traces.
+func Arrivals(g Generator, rng *rand.Rand, from, to sim.Time, buf []sim.Time) []sim.Time {
+	peak := g.MaxRate()
+	if peak <= 0 || to <= from {
+		return buf
+	}
+	meanGapUs := 1e6 / peak
+	for t := from; ; {
+		t += sim.Duration(rng.ExpFloat64() * meanGapUs)
+		if t >= to {
+			return buf
+		}
+		if r := g.Rate(t); r > 0 && rng.Float64() < r/peak {
+			buf = append(buf, t)
+		}
+	}
+}
+
+// MeanRate numerically averages the profile over [from, to) — handy for
+// sizing demand forecasts without sampling.
+func MeanRate(g Generator, from, to sim.Time) float64 {
+	if to <= from {
+		return g.Rate(from)
+	}
+	const steps = 64
+	sum := 0.0
+	dt := (to - from) / steps
+	for i := 0; i < steps; i++ {
+		sum += g.Rate(from + (sim.Duration(i)+0.5)*dt)
+	}
+	return sum / steps
+}

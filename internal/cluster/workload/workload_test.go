@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"krisp/internal/sim"
+)
+
+func TestConstant(t *testing.T) {
+	g := Constant{RatePerSec: 100}
+	if g.Rate(0) != 100 || g.Rate(5*sim.Second) != 100 {
+		t.Fatal("constant rate varies")
+	}
+	if g.MaxRate() != 100 {
+		t.Fatal("bad envelope")
+	}
+	if got := MeanRate(g, 0, sim.Second); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("mean = %v, want 100", got)
+	}
+}
+
+func TestDiurnalSweep(t *testing.T) {
+	g := Diurnal{Trough: 10, Peak: 110, Period: 1000}
+	if got := g.Rate(0); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("rate at trough = %v, want 10", got)
+	}
+	if got := g.Rate(500); math.Abs(got-110) > 1e-9 {
+		t.Fatalf("rate at peak = %v, want 110", got)
+	}
+	if g.MaxRate() != 110 {
+		t.Fatalf("envelope = %v, want 110", g.MaxRate())
+	}
+	// Mean over a full period is the midpoint of trough and peak.
+	if got := MeanRate(g, 0, 1000); math.Abs(got-60) > 1.0 {
+		t.Fatalf("mean over period = %v, want ~60", got)
+	}
+	// Periodicity.
+	if math.Abs(g.Rate(250)-g.Rate(1250)) > 1e-9 {
+		t.Fatal("rate not periodic")
+	}
+}
+
+func TestBurstOverlay(t *testing.T) {
+	g := Burst{
+		Base:   Constant{RatePerSec: 50},
+		Every:  1000,
+		Length: 100,
+		Factor: 4,
+	}
+	if got := g.Rate(50); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("in-burst rate = %v, want 200", got)
+	}
+	if got := g.Rate(500); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("off-burst rate = %v, want 50", got)
+	}
+	if got := g.MaxRate(); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("envelope = %v, want 200", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	g := Scale{Base: Constant{RatePerSec: 50}, Factor: 2}
+	if g.Rate(0) != 100 || g.MaxRate() != 100 {
+		t.Fatal("scale not applied")
+	}
+}
+
+func TestArrivalsPoissonCount(t *testing.T) {
+	g := Constant{RatePerSec: 2000}
+	rng := rand.New(rand.NewSource(7))
+	var total int
+	runs := 50
+	for i := 0; i < runs; i++ {
+		buf := Arrivals(g, rng, 0, sim.Second, nil)
+		total += len(buf)
+		for j := 1; j < len(buf); j++ {
+			if buf[j] < buf[j-1] {
+				t.Fatal("arrivals not sorted")
+			}
+		}
+		for _, a := range buf {
+			if a < 0 || a >= sim.Second {
+				t.Fatalf("arrival %v outside window", a)
+			}
+		}
+	}
+	mean := float64(total) / float64(runs)
+	// Poisson(2000): the mean over 50 runs should land within a few
+	// standard errors (sigma/sqrt(50) ~ 6.3).
+	if math.Abs(mean-2000) > 40 {
+		t.Fatalf("mean arrivals = %v, want ~2000", mean)
+	}
+}
+
+func TestArrivalsThinningTracksRate(t *testing.T) {
+	// The inhomogeneous sampler must put more arrivals where the rate is
+	// higher: compare the two halves of a diurnal period.
+	g := Diurnal{Trough: 100, Peak: 4000, Period: 100 * sim.Millisecond}
+	rng := rand.New(rand.NewSource(11))
+	rising, falling := 0, 0
+	for i := 0; i < 20; i++ {
+		buf := Arrivals(g, rng, 0, 100*sim.Millisecond, nil)
+		for _, a := range buf {
+			if a < 25*sim.Millisecond || a >= 75*sim.Millisecond {
+				falling++
+			} else {
+				rising++ // middle half straddles the peak
+			}
+		}
+	}
+	if rising <= falling*2 {
+		t.Fatalf("thinning ignores the rate profile: peak-half=%d trough-half=%d", rising, falling)
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	g := Burst{Base: Diurnal{Trough: 100, Peak: 1000, Period: 50 * sim.Millisecond},
+		Every: 20 * sim.Millisecond, Length: 5 * sim.Millisecond, Factor: 3}
+	a := Arrivals(g, rand.New(rand.NewSource(5)), 0, 50*sim.Millisecond, nil)
+	b := Arrivals(g, rand.New(rand.NewSource(5)), 0, 50*sim.Millisecond, nil)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestArrivalsEmptyAndDegenerate(t *testing.T) {
+	if got := Arrivals(Constant{}, rand.New(rand.NewSource(1)), 0, sim.Second, nil); len(got) != 0 {
+		t.Fatalf("zero-rate generator produced %d arrivals", len(got))
+	}
+	g := Constant{RatePerSec: 100}
+	if got := Arrivals(g, rand.New(rand.NewSource(1)), sim.Second, sim.Second, nil); len(got) != 0 {
+		t.Fatalf("empty window produced %d arrivals", len(got))
+	}
+	if got := MeanRate(g, sim.Second, sim.Second); got != 100 {
+		t.Fatalf("mean over empty window = %v, want the point rate", got)
+	}
+}

@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"krisp/internal/gpu"
+	"krisp/internal/sim"
+)
+
+// NodeFaultKind classifies cluster-level faults — failures above the
+// single-device granularity of Plan, consumed by internal/cluster's fleet
+// controller rather than the per-node Injector.
+type NodeFaultKind int
+
+const (
+	// NodeDown crashes a whole node: every replica on it is lost, queued
+	// and in-flight requests fail, and the node stops advancing until (and
+	// unless) it recovers.
+	NodeDown NodeFaultKind = iota
+	// GPUDegrade slows every CU of one GPU on the node (thermal throttle,
+	// ECC storm). It lowers the node's effective service rate without
+	// taking replicas away — the regime SLO-aware routing must detect.
+	GPUDegrade
+)
+
+func (k NodeFaultKind) String() string {
+	switch k {
+	case NodeDown:
+		return "node-down"
+	case GPUDegrade:
+		return "gpu-degrade"
+	default:
+		return "unknown"
+	}
+}
+
+// NodeFault is one cluster-level fault event on the fleet clock.
+type NodeFault struct {
+	At   sim.Time
+	Node int
+	Kind NodeFaultKind
+	// GPU is the device index on the node (GPUDegrade only).
+	GPU int
+	// Stretch is the per-wave slowdown for GPUDegrade (1.0 ≈ half speed).
+	Stretch float64
+	// Duration bounds the fault; zero means it lasts for the rest of the
+	// run. For NodeDown a recovered node rejoins empty — its replicas do
+	// not come back, the placer must re-place them.
+	Duration sim.Duration
+}
+
+// CUDegrades lowers a GPUDegrade node fault into the per-CU degrade events
+// a node-local Plan understands, one per CU of the target device. Non-
+// GPUDegrade faults return nil.
+func (f NodeFault) CUDegrades(topo gpu.Topology) []CUDegrade {
+	if f.Kind != GPUDegrade || f.Stretch <= 0 {
+		return nil
+	}
+	out := make([]CUDegrade, 0, topo.TotalCUs())
+	for cu := 0; cu < topo.TotalCUs(); cu++ {
+		out = append(out, CUDegrade{
+			At:       f.At,
+			GPU:      f.GPU,
+			CU:       cu,
+			Stretch:  f.Stretch,
+			Duration: f.Duration,
+		})
+	}
+	return out
+}

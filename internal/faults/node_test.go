@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"testing"
+
+	"krisp/internal/gpu"
+)
+
+func TestNodeFaultKindString(t *testing.T) {
+	if NodeDown.String() != "node-down" || GPUDegrade.String() != "gpu-degrade" {
+		t.Fatal("bad kind names")
+	}
+	if NodeFaultKind(99).String() != "unknown" {
+		t.Fatal("unknown kind not handled")
+	}
+}
+
+func TestCUDegradesLowering(t *testing.T) {
+	topo := gpu.MI50Spec().Topo
+	f := NodeFault{At: 100, Node: 2, Kind: GPUDegrade, GPU: 1, Stretch: 2.5, Duration: 500}
+	ds := f.CUDegrades(topo)
+	if len(ds) != topo.TotalCUs() {
+		t.Fatalf("lowered %d degrades, want one per CU (%d)", len(ds), topo.TotalCUs())
+	}
+	seen := map[int]bool{}
+	for _, d := range ds {
+		if d.At != 100 || d.GPU != 1 || d.Stretch != 2.5 || d.Duration != 500 {
+			t.Fatalf("degrade lost fault fields: %+v", d)
+		}
+		if seen[d.CU] {
+			t.Fatalf("CU %d degraded twice", d.CU)
+		}
+		seen[d.CU] = true
+	}
+}
+
+func TestCUDegradesOnlyForGPUDegrade(t *testing.T) {
+	topo := gpu.MI50Spec().Topo
+	if got := (NodeFault{Kind: NodeDown}).CUDegrades(topo); got != nil {
+		t.Fatalf("NodeDown lowered to %d CU degrades", len(got))
+	}
+	if got := (NodeFault{Kind: GPUDegrade, Stretch: 0}).CUDegrades(topo); got != nil {
+		t.Fatal("zero-stretch degrade lowered to events")
+	}
+}

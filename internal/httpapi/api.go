@@ -13,6 +13,7 @@ package httpapi
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -36,6 +37,16 @@ func Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.HandleFunc("GET /debug/telemetry", handleTelemetryDebug)
 	return mux
+}
+
+// jsonSafe maps the NaN that server.Result.MaxP95 reports for degenerate
+// runs (no batches measured) to 0 — JSON has no NaN, and for this API a
+// zero P95 already means "no data".
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -184,7 +195,7 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.RPS = res.RPS
-		resp.P95Ms = res.MaxP95() / 1000
+		resp.P95Ms = jsonSafe(res.MaxP95() / 1000)
 		resp.EnergyPerInference = res.EnergyPerInference
 		resp.AvgBusyCUs = res.AvgBusyCUs
 		resp.OfferedRPS = res.Offered
@@ -197,7 +208,7 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.RPS = res.RPS
-		resp.P95Ms = res.MaxP95() / 1000
+		resp.P95Ms = jsonSafe(res.MaxP95() / 1000)
 		resp.EnergyPerInference = res.EnergyPerInference
 		resp.AvgBusyCUs = res.AvgBusyCUs
 		resp.Oversubscribed = res.Oversubscribed

@@ -14,6 +14,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"krisp/internal/models"
@@ -107,18 +108,59 @@ func (p *Planner) sweep(m models.Model, batch int) []profile.SweepPoint {
 	return s
 }
 
-// instanceRPS returns the profiled throughput of one instance at n CUs.
-func (p *Planner) instanceRPS(m models.Model, batch, n int) float64 {
+// InstanceRPS returns the profiled throughput (requests/second) of one
+// instance of the model at an n-CU partition. The cluster placer uses it
+// to turn gpulet sizes back into capacity estimates.
+func (p *Planner) InstanceRPS(m models.Model, batch, n int) float64 {
 	s := p.sweep(m, batch)
 	lat := float64(s[n-1].Latency) // microseconds per batch
 	return float64(batch) / lat * 1e6
+}
+
+// instanceRPS is the historical internal spelling.
+func (p *Planner) instanceRPS(m models.Model, batch, n int) float64 {
+	return p.InstanceRPS(m, batch, n)
+}
+
+// SLOLatency returns the model's SLO target: SLOFactor times the isolated
+// full-GPU batch latency, the paper's QoS definition. The cluster router
+// scores completed requests against it.
+func (p *Planner) SLOLatency(m models.Model, batch int) sim.Duration {
+	s := p.sweep(m, batch)
+	return sim.Duration(p.SLOFactor * float64(s[p.totalCUs-1].Latency))
+}
+
+// Sizing is one demand's per-instance sizing decision, exported so the
+// cluster placer can reason about gpulets without re-deriving curves.
+type Sizing struct {
+	// CUs is the per-instance partition size; Instances the scale-out
+	// count that carries the rate within the SLO.
+	CUs, Instances int
+	// MinQoSCUs is the floor below which a single instance violates the
+	// SLO at any rate.
+	MinQoSCUs int
+	// PerInstanceRPS is the profiled throughput of one instance at CUs.
+	PerInstanceRPS float64
 }
 
 // SizeFor returns the smallest per-instance partition and instance count
 // that sustains rate within the SLO. The per-instance size never goes
 // below the size needed to keep latency within SLOFactor x isolated
 // (otherwise the instance violates QoS no matter the count).
+//
+// Degenerate rates are handled explicitly rather than looping forever: a
+// zero or negative rate keeps one warm instance at the QoS floor, and a
+// NaN or +Inf rate panics (it would otherwise scale out without bound).
 func (p *Planner) SizeFor(m models.Model, batch int, rate float64) (cus, instances int) {
+	sz := p.Sizing(m, batch, rate)
+	return sz.CUs, sz.Instances
+}
+
+// Sizing computes the full sizing decision for one demand; see SizeFor.
+func (p *Planner) Sizing(m models.Model, batch int, rate float64) Sizing {
+	if math.IsNaN(rate) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("sched: non-finite rate %v for model %s", rate, m.Name))
+	}
 	s := p.sweep(m, batch)
 	fullLat := float64(s[p.totalCUs-1].Latency)
 	// Minimum CUs that keeps latency within the SLO.
@@ -129,20 +171,28 @@ func (p *Planner) SizeFor(m models.Model, batch int, rate float64) (cus, instanc
 			break
 		}
 	}
+	if rate <= 0 {
+		// No offered load: keep one warm instance at the QoS floor.
+		return Sizing{CUs: minQoS, Instances: 1, MinQoSCUs: minQoS,
+			PerInstanceRPS: p.InstanceRPS(m, batch, minQoS)}
+	}
 	// Scale out until the per-instance rate share is achievable, then
 	// pick the smallest size that carries the share.
-	for instances = 1; ; instances++ {
+	for instances := 1; ; instances++ {
 		share := rate / float64(instances)
-		if p.instanceRPS(m, batch, p.totalCUs) < share {
+		if p.InstanceRPS(m, batch, p.totalCUs) < share {
 			continue // even a whole GPU cannot carry the share
 		}
 		for n := minQoS; n <= p.totalCUs; n++ {
-			if p.instanceRPS(m, batch, n) >= share {
-				return n, instances
+			if rps := p.InstanceRPS(m, batch, n); rps >= share {
+				return Sizing{CUs: n, Instances: instances, MinQoSCUs: minQoS, PerInstanceRPS: rps}
 			}
 		}
 	}
 }
+
+// TotalCUs returns the per-device CU count the planner sizes against.
+func (p *Planner) TotalCUs() int { return p.totalCUs }
 
 // Plan sizes every demand and packs the gpulets first-fit-decreasing onto
 // at most maxGPUs devices. An infeasible demand set returns a partial plan

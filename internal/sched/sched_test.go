@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math"
 	"testing"
 
 	"krisp/internal/models"
@@ -180,5 +181,121 @@ func TestEmptyTrace(t *testing.T) {
 	plans, report := p.ReplanTrace(nil, nil, 1, reconfig.DefaultCosts())
 	if plans != nil || report.Epochs != 0 {
 		t.Errorf("empty trace: %v %+v", plans, report)
+	}
+}
+
+func TestSizingZeroRateKeepsWarmInstance(t *testing.T) {
+	p := planner()
+	m := model(t, "albert")
+	for _, rate := range []float64{0, -5} {
+		sz := p.Sizing(m, 32, rate)
+		if sz.Instances != 1 {
+			t.Fatalf("rate %v: instances = %d, want 1 warm instance", rate, sz.Instances)
+		}
+		if sz.CUs != sz.MinQoSCUs {
+			t.Fatalf("rate %v: warm instance sized %d CUs, want the QoS floor %d",
+				rate, sz.CUs, sz.MinQoSCUs)
+		}
+		if sz.PerInstanceRPS <= 0 {
+			t.Fatalf("rate %v: non-positive capacity estimate", rate)
+		}
+	}
+}
+
+func TestSizingNonFiniteRatePanics(t *testing.T) {
+	p := planner()
+	m := model(t, "albert")
+	for _, rate := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v did not panic", rate)
+				}
+			}()
+			p.Sizing(m, 32, rate)
+		}()
+	}
+}
+
+func TestSizingMatchesSizeFor(t *testing.T) {
+	p := planner()
+	m := model(t, "squeezenet")
+	for _, rate := range []float64{1, 700, 3000, 9000} {
+		cus, inst := p.SizeFor(m, 32, rate)
+		sz := p.Sizing(m, 32, rate)
+		if cus != sz.CUs || inst != sz.Instances {
+			t.Fatalf("rate %v: SizeFor (%d, %d) != Sizing %+v", rate, cus, inst, sz)
+		}
+		if got := p.InstanceRPS(m, 32, sz.CUs); got != sz.PerInstanceRPS {
+			t.Fatalf("rate %v: InstanceRPS %v != Sizing.PerInstanceRPS %v", rate, got, sz.PerInstanceRPS)
+		}
+	}
+}
+
+func TestSLOLatencyIsFactorOfIsolated(t *testing.T) {
+	p := planner()
+	m := model(t, "resnet152")
+	slo := p.SLOLatency(m, 32)
+	full := p.sweep(m, 32)[p.totalCUs-1].Latency
+	if got := float64(slo); got != p.SLOFactor*float64(full) {
+		t.Fatalf("SLOLatency = %v, want %v x %v", got, p.SLOFactor, full)
+	}
+}
+
+func TestReplanTraceZeroRateEpochs(t *testing.T) {
+	// A trace that collapses to zero demand must not panic or drop the
+	// model: zero-rate epochs keep one warm instance.
+	p := planner()
+	base := []Demand{{Model: model(t, "squeezenet"), Batch: 32}}
+	trace := [][]float64{{8000}, {0}, {8000}}
+	plans, report := p.ReplanTrace(base, trace, 2, reconfig.DefaultCosts())
+	if len(plans) != 3 {
+		t.Fatalf("%d plans, want 3", len(plans))
+	}
+	for e, plan := range plans {
+		if !plan.Feasible {
+			t.Fatalf("epoch %d infeasible", e)
+		}
+		if plan.InstancesOf("squeezenet") < 1 {
+			t.Fatalf("epoch %d dropped the model entirely", e)
+		}
+	}
+	if plans[1].InstancesOf("squeezenet") != 1 {
+		t.Fatalf("zero-rate epoch kept %d instances, want 1 warm", plans[1].InstancesOf("squeezenet"))
+	}
+	if report.Resizes == 0 {
+		t.Fatal("scaling to zero and back accounted no resizes")
+	}
+}
+
+func TestReplanTraceMaxGPUsExhaustion(t *testing.T) {
+	// When an epoch's demand exceeds the fleet, the plan must come back
+	// infeasible (with overflow instances marked unplaced) instead of
+	// packing beyond maxGPUs — and later feasible epochs must recover.
+	p := planner()
+	base := []Demand{{Model: model(t, "vgg19"), Batch: 32}}
+	trace := [][]float64{{300}, {20000}, {300}}
+	plans, _ := p.ReplanTrace(base, trace, 2, reconfig.DefaultCosts())
+	if plans[0].Feasible != true || plans[2].Feasible != true {
+		t.Fatal("light epochs reported infeasible")
+	}
+	if plans[1].Feasible {
+		t.Fatal("20000 rps of vgg19 on two GPUs reported feasible")
+	}
+	unplaced := 0
+	for _, g := range plans[1].Gpulets {
+		if g.GPU == -1 {
+			unplaced++
+		} else if g.GPU < 0 || g.GPU >= 2 {
+			t.Fatalf("gpulet placed on out-of-range GPU %d", g.GPU)
+		}
+	}
+	if unplaced == 0 {
+		t.Fatal("infeasible plan has no unplaced gpulets")
+	}
+	for g := 0; g < 2; g++ {
+		if got := plans[1].TotalCUs(g); got > 60 {
+			t.Fatalf("gpu%d oversubscribed to %d CUs", g, got)
+		}
 	}
 }

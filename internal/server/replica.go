@@ -1,0 +1,384 @@
+package server
+
+import (
+	"math/rand"
+
+	"krisp/internal/core"
+	"krisp/internal/energy"
+	"krisp/internal/faults"
+	"krisp/internal/gpu"
+	"krisp/internal/hsa"
+	"krisp/internal/kernels"
+	"krisp/internal/models"
+	"krisp/internal/sim"
+	"krisp/internal/telemetry"
+)
+
+// NodeConfig describes one persistent serving node: a multi-GPU stack that
+// is stepped externally instead of running one closed-loop experiment to
+// completion. The cluster layer (internal/cluster) builds one Node per
+// simulated machine and advances them all in lockstep.
+type NodeConfig struct {
+	// Spec is the device model for every GPU on the node; zero means MI50.
+	Spec gpu.DeviceSpec
+	// HSA is the runtime cost model; zero means hsa.DefaultConfig.
+	HSA hsa.Config
+	// GPUs is the number of devices on the node. Zero means 1.
+	GPUs int
+	// Index is the node's fleet-wide id; it namespaces telemetry labels so
+	// devices of different nodes do not collapse into one metric series.
+	Index int
+	// Power is the per-GPU energy model; zero means energy.MI50Power.
+	Power energy.Model
+	// Seed drives per-replica latency jitter; replicas derive their RNG
+	// from it and their creation order, so a node's behaviour depends only
+	// on (Seed, submission sequence), never on wall-clock scheduling.
+	Seed int64
+	// PreprocessUs/PostprocessUs are the CPU-side batch costs.
+	// Zero means the server defaults (150us / 80us).
+	PreprocessUs, PostprocessUs sim.Duration
+	// Jitter is the relative per-kernel duration noise (default 0.04;
+	// negative disables).
+	Jitter float64
+	// Telemetry, when non-nil, instruments the node's devices and command
+	// processors. Nil disables instrumentation.
+	Telemetry *telemetry.Hub
+	// Faults, when non-nil and non-empty, arms the node-local chaos
+	// substrate (CU kills/degrades, queue stalls, flaky IOCTLs).
+	Faults *faults.Plan
+}
+
+// Node is a persistent multi-GPU serving stack with its own virtual clock.
+// Replicas are added and drained at runtime; the owner advances the clock
+// with RunUntil. A Node is single-goroutine: all calls must come from the
+// same goroutine (the cluster layer advances distinct nodes concurrently,
+// which is safe because nodes share nothing).
+type Node struct {
+	cfg      NodeConfig
+	eng      *sim.Engine
+	gpus     []gpuStack
+	inj      *faults.Injector
+	replicas []*Replica
+}
+
+type gpuStack struct {
+	meter *energy.Meter
+	dev   *gpu.Device
+	cp    *hsa.CommandProcessor
+}
+
+// NewNode builds the node's devices and command processors and arms its
+// fault plan, if any. No replicas exist yet.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.Spec.Topo.TotalCUs() == 0 {
+		cfg.Spec = gpu.MI50Spec()
+	}
+	if cfg.HSA.PacketProcessTime == 0 {
+		cfg.HSA = hsa.DefaultConfig()
+	}
+	if cfg.Power.IdleW == 0 && cfg.Power.PerCUW == 0 {
+		cfg.Power = energy.MI50Power()
+	}
+	if cfg.GPUs < 1 {
+		cfg.GPUs = 1
+	}
+	if cfg.PreprocessUs == 0 {
+		cfg.PreprocessUs = 150
+	}
+	if cfg.PostprocessUs == 0 {
+		cfg.PostprocessUs = 80
+	}
+	switch {
+	case cfg.Jitter == 0:
+		cfg.Jitter = 0.04
+	case cfg.Jitter < 0:
+		cfg.Jitter = 0
+	}
+
+	n := &Node{cfg: cfg, eng: sim.New()}
+	hsaCfg := cfg.HSA
+	hsaCfg.KernelScoped = true // replicas are kernel-scoped partition instances
+	if !cfg.Faults.Empty() {
+		n.inj = faults.NewInjector(n.eng, *cfg.Faults)
+		n.inj.SetTelemetry(faults.NewTelemetry(cfg.Telemetry))
+	}
+	n.gpus = make([]gpuStack, cfg.GPUs)
+	for g := range n.gpus {
+		meter := energy.NewMeter(cfg.Power)
+		dev := gpu.NewDevice(n.eng, cfg.Spec, meter)
+		cp := hsa.NewCommandProcessor(n.eng, dev, hsaCfg)
+		if n.inj != nil {
+			cp.SetFaults(n.inj)
+		}
+		id := cfg.Index*cfg.GPUs + g
+		dev.SetTelemetry(gpu.NewTelemetry(cfg.Telemetry, cfg.Spec.Topo, id))
+		cp.SetTelemetry(hsa.NewTelemetry(cfg.Telemetry, id))
+		n.gpus[g] = gpuStack{meter: meter, dev: dev, cp: cp}
+	}
+	if n.inj != nil {
+		devs := make([]*gpu.Device, cfg.GPUs)
+		cps := make([]*hsa.CommandProcessor, cfg.GPUs)
+		for g := range n.gpus {
+			devs[g] = n.gpus[g].dev
+			cps[g] = n.gpus[g].cp
+		}
+		n.inj.Arm(devs, cps)
+	}
+	return n
+}
+
+// Now returns the node's virtual clock.
+func (n *Node) Now() sim.Time { return n.eng.Now() }
+
+// RunUntil advances the node's clock to t, firing every pending event.
+func (n *Node) RunUntil(t sim.Time) { n.eng.RunUntil(t) }
+
+// Schedule runs fn on the node's clock at time t (clamped to now if t has
+// already passed). The cluster layer uses it to deliver requests at their
+// exact arrival timestamps between lockstep advances.
+func (n *Node) Schedule(t sim.Time, fn func()) {
+	if t < n.eng.Now() {
+		t = n.eng.Now()
+	}
+	n.eng.At(t, fn)
+}
+
+// NumGPUs returns the node's device count.
+func (n *Node) NumGPUs() int { return n.cfg.GPUs }
+
+// TotalCUs returns the per-device CU count.
+func (n *Node) TotalCUs() int { return n.cfg.Spec.Topo.TotalCUs() }
+
+// EnergyJ sums energy consumed across the node's devices up to now.
+func (n *Node) EnergyJ() float64 {
+	total := 0.0
+	for _, g := range n.gpus {
+		total += g.meter.EnergyJ(n.eng.Now())
+	}
+	return total
+}
+
+// FaultStats returns the node-local fault/reaction counters, or nil when
+// no fault plan is armed.
+func (n *Node) FaultStats() *faults.Stats {
+	if n.inj == nil {
+		return nil
+	}
+	return &n.inj.Stats
+}
+
+// ReplicaSpec describes one model replica: a gpulet bound to a device with
+// a fixed CU budget, served through a kernel-scoped partition instance (so
+// resizing it later is free — the next kernel simply uses the new size).
+type ReplicaSpec struct {
+	Model models.Model
+	// Batch is the maximum dynamic batch size.
+	Batch int
+	// GPU is the device index on the node.
+	GPU int
+	// CUs is the partition budget; 0 or >= the device size means the full
+	// device.
+	CUs int
+	// OverlapLimit bounds allocated-but-busy CUs per kernel (0 = KRISP-I
+	// isolation, alloc.NoOverlapLimit = KRISP-O).
+	OverlapLimit int
+}
+
+// Completion is one finished request, reported in node-local virtual time.
+type Completion struct {
+	Arrival, End sim.Time
+}
+
+// ReplicaStats is a point-in-time view of a replica's load.
+type ReplicaStats struct {
+	// Queued counts requests waiting to be batched; InFlight counts
+	// requests inside the batch currently being served.
+	Queued, InFlight int
+	// CompletedRequests / CompletedBatches are lifetime totals.
+	CompletedRequests, CompletedBatches int
+	// Dropped counts requests discarded by Kill.
+	Dropped int
+}
+
+// Outstanding is the replica-side count of accepted-but-unfinished
+// requests.
+func (s ReplicaStats) Outstanding() int { return s.Queued + s.InFlight }
+
+// Replica is one gpulet instance on a Node: it owns an HSA queue and a
+// kernel-scoped runtime capped at the gpulet's CU budget, dynamically
+// batches submitted requests, and reports completions for the router to
+// pull at tick boundaries (pull-based so concurrent node advancement never
+// calls back into shared router state).
+type Replica struct {
+	node *Node
+	spec ReplicaSpec
+	rt   *core.Runtime
+	rng  *rand.Rand
+
+	queue    []sim.Time // arrival times waiting for a batch slot
+	inflight []sim.Time
+	busy     bool
+	draining bool
+	killed   bool
+
+	completions []Completion
+	stats       ReplicaStats
+
+	baseDescs []kernels.Desc
+	descBuf   []kernels.Desc
+}
+
+// AddReplica creates a replica on the node. The spec's GPU must exist.
+func (n *Node) AddReplica(spec ReplicaSpec) *Replica {
+	if spec.GPU < 0 || spec.GPU >= len(n.gpus) {
+		panic("server: replica GPU out of range")
+	}
+	if spec.Batch < 1 {
+		spec.Batch = models.CalibrationBatch
+	}
+	total := n.cfg.Spec.Topo.TotalCUs()
+	if spec.CUs <= 0 || spec.CUs > total {
+		spec.CUs = total
+	}
+	stack := n.gpus[spec.GPU]
+	q := stack.cp.NewQueue()
+	rtCfg := core.Config{
+		Mode:         core.ModeNative,
+		OverlapLimit: spec.OverlapLimit,
+		Device:       n.cfg.Index*n.cfg.GPUs + spec.GPU,
+	}
+	r := &Replica{
+		node: n,
+		spec: spec,
+		rt:   core.NewRuntime(n.eng, stack.cp, q, core.NewFixedRightSizer(spec.CUs, total), rtCfg),
+		rng:  rand.New(rand.NewSource(n.cfg.Seed + int64(len(n.replicas))*7919 + 1)),
+	}
+	n.replicas = append(n.replicas, r)
+	return r
+}
+
+// Spec returns the replica's placement spec.
+func (r *Replica) Spec() ReplicaSpec { return r.spec }
+
+// Submit enqueues one request that arrived at the given node-local time.
+// It returns false — and accepts nothing — once the replica is draining or
+// killed. Callers must only submit at or before the node's current clock.
+func (r *Replica) Submit(arrival sim.Time) bool {
+	if r.draining || r.killed {
+		return false
+	}
+	r.queue = append(r.queue, arrival)
+	r.maybeStart()
+	return true
+}
+
+// Drain stops admission; queued and in-flight requests still complete.
+func (r *Replica) Drain() { r.draining = true }
+
+// Draining reports whether the replica has stopped admission.
+func (r *Replica) Draining() bool { return r.draining }
+
+// Drained reports whether a draining (or killed) replica has no work left.
+func (r *Replica) Drained() bool {
+	return (r.draining || r.killed) && !r.busy && len(r.queue) == 0
+}
+
+// Kill drops the replica immediately — queued and in-flight requests are
+// discarded (a node crash, not a graceful drain) — and returns how many
+// requests were lost. The in-flight batch's simulation events still fire,
+// but their completions are suppressed.
+func (r *Replica) Kill() int {
+	if r.killed {
+		return 0
+	}
+	r.killed = true
+	r.draining = true
+	lost := len(r.queue) + len(r.inflight)
+	r.stats.Dropped += lost
+	r.queue = r.queue[:0]
+	r.inflight = r.inflight[:0]
+	return lost
+}
+
+// Stats returns the replica's current load counters.
+func (r *Replica) Stats() ReplicaStats {
+	s := r.stats
+	s.Queued = len(r.queue)
+	s.InFlight = len(r.inflight)
+	return s
+}
+
+// TakeCompletions appends completions recorded since the last call to buf
+// and clears the internal list. Pull, don't push: the cluster collects
+// completions at tick boundaries, after concurrent node advancement has
+// finished, keeping the router single-threaded and deterministic.
+func (r *Replica) TakeCompletions(buf []Completion) []Completion {
+	buf = append(buf, r.completions...)
+	r.completions = r.completions[:0]
+	return buf
+}
+
+// maybeStart launches the next dynamic batch when the replica is idle.
+func (r *Replica) maybeStart() {
+	if r.busy || r.killed || len(r.queue) == 0 {
+		return
+	}
+	n := len(r.queue)
+	if n > r.spec.Batch {
+		n = r.spec.Batch
+	}
+	r.inflight = append(r.inflight[:0], r.queue[:n]...)
+	r.queue = r.queue[:copy(r.queue, r.queue[n:])]
+	r.busy = true
+
+	eng := r.node.eng
+	eng.After(r.node.cfg.PreprocessUs, func() {
+		descs := r.batchKernels(n)
+		r.rt.RunSequence(descs, func() {
+			eng.After(r.node.cfg.PostprocessUs, func() {
+				r.busy = false
+				if r.killed {
+					r.inflight = r.inflight[:0]
+					return
+				}
+				end := eng.Now()
+				for _, at := range r.inflight {
+					r.completions = append(r.completions, Completion{Arrival: at, End: end})
+				}
+				r.stats.CompletedBatches++
+				r.stats.CompletedRequests += len(r.inflight)
+				r.inflight = r.inflight[:0]
+				r.maybeStart()
+			})
+		})
+	})
+}
+
+// batchKernels builds the model's kernel sequence for an n-request batch
+// with per-instance duration noise, reusing the replica's buffers. The
+// full-batch sequence is cached (the common steady-state case); partial
+// batches rebuild it.
+func (r *Replica) batchKernels(n int) []kernels.Desc {
+	var base []kernels.Desc
+	if n == r.spec.Batch {
+		if r.baseDescs == nil {
+			r.baseDescs = r.spec.Model.Kernels(r.spec.Batch)
+		}
+		base = r.baseDescs
+	} else {
+		base = r.spec.Model.Kernels(n)
+	}
+	if r.node.cfg.Jitter == 0 {
+		return base
+	}
+	if cap(r.descBuf) < len(base) {
+		r.descBuf = make([]kernels.Desc, len(base))
+	}
+	out := r.descBuf[:len(base)]
+	for i, d := range base {
+		f := 1 + r.node.cfg.Jitter*(2*r.rng.Float64()-1)
+		d.Work.WGTime *= sim.Duration(f)
+		out[i] = d
+	}
+	return out
+}

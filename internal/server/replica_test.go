@@ -1,0 +1,182 @@
+package server
+
+import (
+	"testing"
+
+	"krisp/internal/models"
+	"krisp/internal/sim"
+)
+
+func testNode(t *testing.T, gpus int) *Node {
+	t.Helper()
+	return NewNode(NodeConfig{GPUs: gpus, Seed: 1})
+}
+
+func squeezenet(t *testing.T) models.Model {
+	t.Helper()
+	m, ok := models.ByName("squeezenet")
+	if !ok {
+		t.Fatal("squeezenet not in the model zoo")
+	}
+	return m
+}
+
+func TestReplicaServesAndCompletes(t *testing.T) {
+	n := testNode(t, 1)
+	rep := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, CUs: 8})
+	for i := 0; i < 8; i++ {
+		if !rep.Submit(sim.Time(i) * 100) {
+			t.Fatalf("submit %d refused", i)
+		}
+	}
+	n.RunUntil(sim.Second)
+	st := rep.Stats()
+	if st.CompletedRequests != 8 {
+		t.Fatalf("completed = %d, want 8", st.CompletedRequests)
+	}
+	// Greedy batching: the first submit starts a batch of 1, then the
+	// backlog drains in full and partial batches (4, then 3).
+	if st.CompletedBatches != 3 {
+		t.Fatalf("batches = %d, want 3", st.CompletedBatches)
+	}
+	if st.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after drain of work", st.Outstanding())
+	}
+	var buf []Completion
+	buf = rep.TakeCompletions(buf)
+	if len(buf) != 8 {
+		t.Fatalf("completions = %d, want 8", len(buf))
+	}
+	for i, c := range buf {
+		if c.End <= c.Arrival {
+			t.Fatalf("completion %d has non-positive latency: %+v", i, c)
+		}
+	}
+	// TakeCompletions drains: a second call returns nothing.
+	if again := rep.TakeCompletions(buf[:0]); len(again) != 0 {
+		t.Fatalf("completions not drained: %d left", len(again))
+	}
+}
+
+func TestReplicaPartialBatchStarts(t *testing.T) {
+	// A replica must not deadlock waiting for a full batch: a single queued
+	// request still runs.
+	n := testNode(t, 1)
+	rep := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 8, CUs: 8})
+	rep.Submit(0)
+	n.RunUntil(sim.Second)
+	if st := rep.Stats(); st.CompletedRequests != 1 {
+		t.Fatalf("completed = %d, want 1", st.CompletedRequests)
+	}
+}
+
+func TestReplicaDrainLifecycle(t *testing.T) {
+	n := testNode(t, 1)
+	rep := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, CUs: 8})
+	for i := 0; i < 4; i++ {
+		rep.Submit(0)
+	}
+	rep.Drain()
+	if !rep.Draining() {
+		t.Fatal("not draining after Drain")
+	}
+	if rep.Submit(0) {
+		t.Fatal("draining replica accepted a request")
+	}
+	if rep.Drained() {
+		t.Fatal("drained before queued work finished")
+	}
+	n.RunUntil(sim.Second)
+	if !rep.Drained() {
+		t.Fatal("not drained after queued work finished")
+	}
+	if st := rep.Stats(); st.CompletedRequests != 4 {
+		t.Fatalf("completed = %d, want the pre-drain queue served", st.CompletedRequests)
+	}
+}
+
+func TestReplicaKillDropsWork(t *testing.T) {
+	n := testNode(t, 1)
+	rep := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, CUs: 8})
+	for i := 0; i < 6; i++ {
+		rep.Submit(0)
+	}
+	// Let the first batch get in flight, then kill.
+	n.RunUntil(50)
+	dropped := rep.Kill()
+	if dropped == 0 {
+		t.Fatal("kill dropped nothing with queued and in-flight work")
+	}
+	n.RunUntil(sim.Second)
+	if got := rep.TakeCompletions(nil); len(got) != 0 {
+		t.Fatalf("killed replica surfaced %d completions", len(got))
+	}
+	if rep.Submit(100) {
+		t.Fatal("killed replica accepted a request")
+	}
+	if !rep.Drained() {
+		t.Fatal("killed replica not terminal")
+	}
+	if st := rep.Stats(); st.Dropped != dropped {
+		t.Fatalf("stats dropped = %d, want %d", st.Dropped, dropped)
+	}
+}
+
+func TestReplicasShareNodeDeterministically(t *testing.T) {
+	// Two replicas on one GPU (spatial co-location) plus one on a second
+	// GPU: same submissions, two fresh nodes, identical completions.
+	run := func() []Completion {
+		n := testNode(t, 2)
+		a := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, GPU: 0, CUs: 8})
+		b := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, GPU: 0, CUs: 8})
+		c := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, GPU: 1, CUs: 16})
+		for i := 0; i < 12; i++ {
+			switch i % 3 {
+			case 0:
+				a.Submit(sim.Time(i) * 50)
+			case 1:
+				b.Submit(sim.Time(i) * 50)
+			default:
+				c.Submit(sim.Time(i) * 50)
+			}
+		}
+		n.RunUntil(sim.Second)
+		var out []Completion
+		out = a.TakeCompletions(out)
+		out = b.TakeCompletions(out)
+		out = c.TakeCompletions(out)
+		return out
+	}
+	x, y := run(), run()
+	if len(x) != len(y) || len(x) != 12 {
+		t.Fatalf("completions = %d / %d, want 12", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("completion %d differs: %+v vs %+v", i, x[i], y[i])
+		}
+	}
+}
+
+func TestNodeSchedulePastClamps(t *testing.T) {
+	n := testNode(t, 1)
+	n.RunUntil(1000)
+	fired := sim.Time(-1)
+	n.Schedule(500, func() { fired = n.Now() }) // in the past: clamp to now
+	n.RunUntil(2000)
+	if fired < 1000 {
+		t.Fatalf("past-scheduled fn fired at %v, want clamped >= 1000", fired)
+	}
+}
+
+func TestNodeEnergyAccumulates(t *testing.T) {
+	n := testNode(t, 2)
+	rep := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, CUs: 16})
+	for i := 0; i < 8; i++ {
+		rep.Submit(0)
+	}
+	n.RunUntil(sim.Second)
+	if n.EnergyJ() <= 0 {
+		t.Fatal("no energy accounted for a busy node")
+	}
+}

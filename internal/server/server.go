@@ -14,6 +14,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"krisp/internal/core"
@@ -154,11 +155,19 @@ func (r *Result) TotalRequests() int {
 	return n
 }
 
-// MaxP95 returns the worst per-worker p95 batch latency (us).
+// MaxP95 returns the worst per-worker p95 batch latency (us). A
+// degenerate run in which no worker completed a single batch inside the
+// measurement window (an interrupted or pathologically short experiment)
+// returns NaN rather than a misleading 0 — "no data" must not read as
+// "infinitely fast". Workers without samples are skipped as long as at
+// least one worker measured something.
 func (r *Result) MaxP95() float64 {
-	worst := 0.0
+	worst := math.NaN()
 	for i := range r.Workers {
-		if p := r.Workers[i].P95(); p > worst {
+		if r.Workers[i].BatchLatency.Len() == 0 {
+			continue
+		}
+		if p := r.Workers[i].P95(); math.IsNaN(worst) || p > worst {
 			worst = p
 		}
 	}

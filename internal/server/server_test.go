@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"testing"
 
 	"krisp/internal/models"
@@ -179,4 +180,24 @@ func TestRunPanicsWithoutWorkers(t *testing.T) {
 		}
 	}()
 	Run(Config{Policy: policies.MPSDefault})
+}
+
+func TestMaxP95NaNOnDegenerateRun(t *testing.T) {
+	// No workers at all.
+	var empty Result
+	if got := empty.MaxP95(); !math.IsNaN(got) {
+		t.Fatalf("MaxP95 with no workers = %v, want NaN", got)
+	}
+	// Workers that never completed a batch inside the window.
+	unmeasured := Result{Workers: make([]WorkerStats, 3)}
+	if got := unmeasured.MaxP95(); !math.IsNaN(got) {
+		t.Fatalf("MaxP95 with unmeasured workers = %v, want NaN", got)
+	}
+	// One measured worker among unmeasured ones: its p95 wins, NaN-free.
+	mixed := Result{Workers: make([]WorkerStats, 3)}
+	mixed.Workers[1].BatchLatency.Add(1000)
+	mixed.Workers[1].BatchLatency.Add(2000)
+	if got := mixed.MaxP95(); math.IsNaN(got) || got <= 0 {
+		t.Fatalf("MaxP95 with one measured worker = %v, want its p95", got)
+	}
 }

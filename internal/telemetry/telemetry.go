@@ -196,6 +196,13 @@ func LatencyBucketsMs() []float64 { return ExpBuckets(0.5, 2, 16) }
 // CUBuckets buckets CU grant sizes on MI50/MI100-shaped devices.
 func CUBuckets() []float64 { return []float64{1, 2, 4, 8, 15, 22, 30, 45, 60, 90, 120} }
 
+// QueueDepthBuckets suits queue-depth and outstanding-request histograms
+// (fleet routing, per-node backlogs): power-of-two depths from empty to
+// overload.
+func QueueDepthBuckets() []float64 {
+	return []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+}
+
 // Registry is a concurrency-safe named-metric store. Registration is
 // get-or-register: asking for an existing name returns the existing handle
 // (so parallel grid cells share counters), and asking for it as a different

@@ -1,15 +1,16 @@
 #!/usr/bin/env sh
-# scripts/bench.sh — regenerate BENCH_PR4.json, the performance record for
-# the telemetry subsystem PR: the zero-allocation dispatch fast path with
-# and without live metrics, plus the telemetry primitive costs.
+# scripts/bench.sh — regenerate BENCH_PR5.json, the performance record for
+# the cluster fleet PR: fleet simulation throughput (serial vs parallel
+# node advancement), per-request routing-decision costs for every policy,
+# and the dispatch-path microbenchmarks carried forward from PR 4.
 #
 # Runs the dispatch-path microbenchmarks (alloc mask generation, hsa
 # steady-state dispatch bare and with telemetry attached, gpu launch
-# cycle, server serving loop, telemetry counter/gauge/histogram writes;
-# benchstat-compatible output is left in /tmp/krisp_bench_dispatch.txt)
-# and times the table4 grid experiment serially and with a parallel
-# fan-out plus the fig15 mixed-model grid, then writes the numbers to
-# BENCH_PR4.json at the repo root.
+# cycle, server serving loop, telemetry counter/gauge/histogram writes),
+# the cluster fleet benchmarks (full 3x2-GPU fleet runs and router pick
+# costs; benchstat-compatible output in /tmp/krisp_bench_dispatch.txt and
+# /tmp/krisp_bench_cluster.txt), and times the table4/fig15 grids, then
+# writes the numbers to BENCH_PR5.json at the repo root.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 1s per benchmark)
 set -eu
@@ -17,11 +18,22 @@ set -eu
 cd "$(dirname "$0")/.."
 benchtime="${1:-1s}"
 benchtxt=/tmp/krisp_bench_dispatch.txt
-out=BENCH_PR4.json
+clustertxt=/tmp/krisp_bench_cluster.txt
+out=BENCH_PR5.json
 
 echo "== dispatch-path microbenchmarks (benchtime=$benchtime) =="
 go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" \
     ./internal/alloc ./internal/hsa ./internal/gpu ./internal/server ./internal/telemetry | tee "$benchtxt"
+
+echo "== cluster fleet benchmarks (benchtime=$benchtime) =="
+go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" \
+    ./internal/cluster | tee "$clustertxt"
+
+cluster_field() { # $1 = benchmark name (after Benchmark), $2 = unit column
+    awk -v name="Benchmark$1" -v unit="$2" '
+        $1 ~ "^"name"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == unit) { print $i; exit } }
+    ' "$clustertxt"
+}
 
 # Pull "name ns/op allocs/op" pairs out of the benchmark output.
 bench_field() { # $1 = benchmark name, $2 = column header suffix (ns/op | allocs/op)
@@ -64,9 +76,20 @@ pr3_table4_serial_ms=1648
 
 cat > "$out" <<EOF
 {
-  "pr": 4,
-  "title": "Runtime telemetry: zero-alloc metrics registry and span tracing",
-  "host_note": "measured on a single-core container (GOMAXPROCS=1). The telemetry contract is the Dispatch vs DispatchWithTelemetry delta: live counters/gauges/histograms on the dispatch hot path must add only atomic-write cost and zero allocations.",
+  "pr": 5,
+  "title": "Cluster fleet subsystem: SLO-aware routing, gpulet placement, epoch autoscaling",
+  "host_note": "measured on a shared container; treat numbers as indicative. The fleet contract: serial and parallel node advancement produce byte-identical routing decisions, so FleetThroughputParallel buys wall-clock only.",
+  "fleet": {
+    "unit": {"time": "ns/op (one 300ms virtual fleet run)", "throughput": "routed requests per wall-second"},
+    "FleetThroughputSerial":   {"time": $(cluster_field FleetThroughputSerial ns/op),   "throughput": $(cluster_field FleetThroughputSerial requests/s)},
+    "FleetThroughputParallel": {"time": $(cluster_field FleetThroughputParallel ns/op), "throughput": $(cluster_field FleetThroughputParallel requests/s)},
+    "routing_decision_ns": {
+      "round-robin":       $(cluster_field 'FleetRoutingDecision/round-robin' ns/op),
+      "least-outstanding": $(cluster_field 'FleetRoutingDecision/least-outstanding' ns/op),
+      "p2c":               $(cluster_field 'FleetRoutingDecision/p2c' ns/op),
+      "slo-aware":         $(cluster_field 'FleetRoutingDecision/slo-aware' ns/op)
+    }
+  },
   "microbenchmarks": {
     "unit": {"time": "ns/op", "allocs": "allocs/op"},
     "pr3": {
