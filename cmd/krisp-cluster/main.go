@@ -7,12 +7,18 @@
 //	krisp-cluster -models squeezenet,mobilenet -policy slo-aware
 //	krisp-cluster -compare -degrade 1:0:3.0
 //	krisp-cluster -down 2:120 -policy least-outstanding
+//	krisp-cluster -chaos gray-node -gateway
+//	krisp-cluster -chaos overload-burst -tenants 4
 //	krisp-cluster -serve :8080   (fleet metrics stay up on /metrics)
 //
 // Each listed model is served with a diurnal rate profile sweeping
 // trough = rate/4 up to peak = rate over the run. Faults are injected
 // with -degrade node:gpu:stretch (a GPU running slow for the whole run)
-// and -down node:at_ms[:dur_ms] (a node crash, optionally recovering).
+// and -down node:at_ms[:dur_ms] (a node crash, optionally recovering), or
+// composed into fleet-scale stories with -chaos (see -chaos list).
+// -gateway fronts the router with the resilience layer (admission control,
+// circuit breakers, hedging, retry budget) and prints its shed / hedged /
+// broken-circuit summary at exit; -chaos and -tenants imply it.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"strings"
 
 	"krisp/internal/cluster"
+	"krisp/internal/cluster/gateway"
 	"krisp/internal/cluster/workload"
 	"krisp/internal/faults"
 	"krisp/internal/httpapi"
@@ -52,8 +59,18 @@ func main() {
 		down       = flag.String("down", "", "crash a node: node:at_ms[:dur_ms] (no duration = stays down)")
 		realCosts  = flag.Bool("real-costs", false, "use production-scale reconfig costs (10s-class reloads) instead of costs compressed to the run's timescale")
 		serve      = flag.String("serve", "", "after the run, serve the HTTP API (fleet metrics on /metrics) at this address")
+		useGateway = flag.Bool("gateway", false, "front the router with the resilience gateway (admission, breakers, hedging, retry budget)")
+		chaosName  = flag.String("chaos", "", "apply a named chaos scenario ('list' to enumerate); implies -gateway")
+		tenants    = flag.Int("tenants", 1, "split arrivals across N equal-weight tenants (first half premium class 0, rest class 1); >1 implies -gateway")
 	)
 	flag.Parse()
+
+	if *chaosName == "list" {
+		for _, s := range cluster.ChaosScenarios() {
+			fmt.Printf("%-16s %s\n", s.Name, s.Description)
+		}
+		return
+	}
 
 	var workloads []cluster.Workload
 	for _, name := range strings.Split(*modelList, ",") {
@@ -119,6 +136,36 @@ func main() {
 		Costs:       costs,
 	}
 
+	if *tenants > 1 || *chaosName != "" {
+		*useGateway = true
+	}
+	if *tenants > 1 {
+		var shares []workload.TenantShare
+		var gts []gateway.Tenant
+		for i := 0; i < *tenants; i++ {
+			class := 0
+			if i >= *tenants/2 {
+				class = 1
+			}
+			shares = append(shares, workload.TenantShare{ID: i, Weight: 1})
+			gts = append(gts, gateway.Tenant{ID: i, Weight: 1, Class: class})
+		}
+		cfg.Tenants = shares
+		cfg.Gateway = &gateway.Config{Tenants: gts}
+	}
+	if *useGateway && cfg.Gateway == nil {
+		cfg.Gateway = &gateway.Config{}
+	}
+	if *chaosName != "" {
+		s, err := cluster.ChaosByName(*chaosName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v (try -chaos list)\n", err)
+			os.Exit(2)
+		}
+		s.Apply(&cfg)
+		fmt.Printf("chaos: %s — %s\n", s.Name, s.Description)
+	}
+
 	policies := []cluster.Policy{}
 	if *compare {
 		policies = cluster.Policies()
@@ -159,6 +206,9 @@ func main() {
 				res.Migrations, res.Resizes, res.Drains, res.NodeFaults)
 			fmt.Printf("reconfig bill:   process-scoped %.1f ms vs kernel-scoped %.1f ms\n",
 				float64(res.ProcessScopedReload)/1000, float64(res.KernelScopedReload)/1000)
+			if res.Gateway != nil {
+				printGatewaySummary(res.Gateway)
+			}
 		}
 	}
 
@@ -167,6 +217,31 @@ func main() {
 		if err := http.ListenAndServe(*serve, httpapi.Handler()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+	}
+}
+
+// printGatewaySummary renders the gateway's shed / hedged / broken-circuit
+// outcome table.
+func printGatewaySummary(gs *gateway.Stats) {
+	fmt.Printf("\ngateway summary\n")
+	fmt.Printf("  %-14s %8s %8s %9s %9s %7s\n",
+		"verdict", "admitted", "deadline", "tenant", "overload", "queue")
+	fmt.Printf("  %-14s %8d %8d %9d %9d %7d\n",
+		"requests", gs.Admitted, gs.ShedDeadline, gs.ShedTenant, gs.ShedOverload, gs.ShedQueue)
+	fmt.Printf("  hedged %d (won %d) · retried %d · budget-denied %d · cancelled %d\n",
+		gs.Hedges, gs.HedgeWins, gs.Retries, gs.BudgetDenied, gs.Cancelled)
+	fmt.Printf("  circuits broken %d · half-opened %d · re-closed %d\n",
+		gs.BreakerOpens, gs.BreakerHalfOpens, gs.BreakerCloses)
+	if len(gs.Tenants) > 1 {
+		fmt.Printf("  %-8s %8s %8s %9s\n", "tenant", "admitted", "shed", "shed-rate")
+		for _, ts := range gs.Tenants {
+			total := ts.Admitted + ts.Shed
+			rate := 0.0
+			if total > 0 {
+				rate = float64(ts.Shed) / float64(total)
+			}
+			fmt.Printf("  %-8d %8d %8d %8.1f%%\n", ts.ID, ts.Admitted, ts.Shed, 100*rate)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"krisp/internal/cluster/gateway"
 	"krisp/internal/cluster/workload"
 	"krisp/internal/models"
 	"krisp/internal/reconfig"
@@ -82,7 +83,7 @@ func BenchmarkFleetRoutingDecision(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				h := r.pick(m, 0)
+				h := r.pick(m, 0, -1)
 				h.outstanding++
 				if h.outstanding > 1<<20 {
 					for _, rh := range m.replicas {
@@ -92,4 +93,25 @@ func BenchmarkFleetRoutingDecision(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFleetThroughputGateway is the gateway-on twin of
+// BenchmarkFleetThroughputSerial: the identical fleet and trace fronted by
+// the resilience gateway with its default mechanisms (deadline admission,
+// breakers, hedging, retry budget) enabled. The delta between the two is
+// the whole-run cost of resilience — tracked in BENCH_PR6.json.
+func BenchmarkFleetThroughputGateway(b *testing.B) {
+	cfg := benchConfig(b, 1)
+	cfg.Gateway = &gateway.Config{}
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(cfg)
+		total += res.Routed
+	}
+	b.StopTimer()
+	if total == 0 {
+		b.Fatal("fleet routed nothing")
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "requests/s")
 }

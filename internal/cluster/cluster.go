@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"krisp/internal/cluster/gateway"
 	"krisp/internal/cluster/workload"
 	"krisp/internal/faults"
 	"krisp/internal/gpu"
@@ -103,6 +104,16 @@ type Config struct {
 	// Result.RoutingLog — the determinism tests compare these byte for
 	// byte across serial and parallel runs.
 	RecordRouting bool
+	// Gateway, when non-nil, fronts the router with the resilience layer:
+	// per-tenant rate limiting, circuit breakers, hedging under a retry
+	// budget, and deadline admission. Nil runs the bare router (the PR5
+	// baseline).
+	Gateway *gateway.Config
+	// Tenants is the traffic mix: arrivals are attributed to tenants in
+	// proportion to their weights. Empty means a single tenant 0. The mix
+	// is independent of gateway entitlement, so a tenant can offer more
+	// than its admitted share and be shed back down.
+	Tenants []workload.TenantShare
 }
 
 // ModelResult is one model's fleet-level outcome.
@@ -153,6 +164,9 @@ type Result struct {
 	// RoutingLog holds one line per routing decision when
 	// Config.RecordRouting was set.
 	RoutingLog string
+
+	// Gateway is the resilience layer's decision record (nil without one).
+	Gateway *gateway.Stats
 }
 
 // BadRequests is the fleet quality metric the router policies compete on:
@@ -187,12 +201,39 @@ type Fleet struct {
 	handles   []*replicaHandle // live + draining, ascending id
 	handleSeq int
 
+	// gw is the resilience gateway (nil without one); handleByID resolves
+	// the replica ids the gateway speaks back into handles.
+	gw         *gateway.Gateway
+	handleByID map[int]*replicaHandle
+
 	downFaults []faults.NodeFault // NodeDown timeline, ascending At
 	faultIdx   int
 
 	arrivalRngs []*rand.Rand
-	arrivalBufs [][]sim.Time
+	arrivalBufs [][]workload.TenantArrival
 	complBuf    []server.Completion
+	complPairs  []complPair
+	admitBuf    []admission
+	orderBuf    []int
+	killedBuf   []*replicaHandle
+}
+
+// complPair is one pulled completion with its handle, buffered so gateway
+// runs can replay completions in virtual-time order (the first copy to
+// finish must win the hedge, regardless of handle iteration order).
+type complPair struct {
+	h *replicaHandle
+	c server.Completion
+}
+
+// admission is one merged arrival awaiting its gateway verdict.
+type admission struct {
+	at       sim.Time
+	deadline sim.Time
+	model    int
+	tenant   int // dense gateway tenant index
+	class    int
+	admitted bool
 }
 
 // New validates the configuration and builds the fleet: planner, nodes
@@ -290,23 +331,21 @@ func New(cfg Config) *Fleet {
 		f.arrivalBufs = append(f.arrivalBufs, nil)
 	}
 
-	// Lower GPUDegrade faults into node-local plans; keep NodeDown events
-	// on the fleet timeline.
+	// Lower node-scoped faults (GPU degrades, gray failures, queue stalls)
+	// into node-local plans; keep NodeDown events on the fleet timeline.
 	nodePlans := make([]faults.Plan, cfg.Nodes)
 	for _, nf := range cfg.NodeFaults {
 		if nf.Node < 0 || nf.Node >= cfg.Nodes {
 			continue
 		}
-		switch nf.Kind {
-		case faults.GPUDegrade:
-			if nf.GPU < 0 || nf.GPU >= cfg.GPUsPerNode {
-				continue
-			}
-			nodePlans[nf.Node].CUDegrades = append(
-				nodePlans[nf.Node].CUDegrades, nf.CUDegrades(cfg.Spec.Topo)...)
-		case faults.NodeDown:
+		if nf.Kind == faults.NodeDown {
 			f.downFaults = append(f.downFaults, nf)
+			continue
 		}
+		if nf.Kind == faults.GPUDegrade && (nf.GPU < 0 || nf.GPU >= cfg.GPUsPerNode) {
+			continue
+		}
+		nf.Lower(cfg.Spec.Topo, cfg.GPUsPerNode, &nodePlans[nf.Node])
 	}
 	sort.SliceStable(f.downFaults, func(i, j int) bool {
 		return f.downFaults[i].At < f.downFaults[j].At
@@ -335,6 +374,28 @@ func New(cfg Config) *Fleet {
 		})
 	}
 	f.tel.gNodesUp().Set(int64(cfg.Nodes))
+
+	if cfg.Gateway != nil {
+		gcfg := *cfg.Gateway
+		if len(gcfg.Tenants) == 0 {
+			// Default entitlement mirrors the traffic mix: equal classes,
+			// weights from the shares.
+			for _, s := range cfg.Tenants {
+				gcfg.Tenants = append(gcfg.Tenants, gateway.Tenant{ID: s.ID, Weight: s.Weight})
+			}
+		}
+		slos := make([]gateway.ModelSLO, len(f.router.models))
+		for i, m := range f.router.models {
+			slos[i] = gateway.ModelSLO{Name: m.name, SLOUs: m.sloUs}
+		}
+		var reg *telemetry.Registry
+		if cfg.Telemetry != nil {
+			reg = cfg.Telemetry.Registry()
+		}
+		f.gw = gateway.New(gcfg, slos, &fleetFabric{f: f}, reg)
+		f.router.gw = f.gw
+		f.handleByID = make(map[int]*replicaHandle)
+	}
 	return f
 }
 
@@ -343,15 +404,23 @@ func (f *Fleet) Run() *Result {
 	ticks := int(f.cfg.Duration / f.cfg.Tick)
 	for tick := 0; tick < ticks; tick++ {
 		now := sim.Time(tick) * f.cfg.Tick
-		f.pullCompletions()
+		f.pullCompletions(now)
 		f.applyFaults(now)
+		if f.gw != nil {
+			f.gw.BeginTick(now)
+		}
 		f.scaler.maybeReplan(f, now)
 		f.reap()
 		f.routeTick(now, now+f.cfg.Tick)
+		if f.gw != nil {
+			// Hedge after routing: this tick's sends are fresh, earlier
+			// ones that outlived the P95-derived delay get a second copy.
+			f.gw.HedgeScan(now)
+		}
 		f.observe()
 		f.advance(now + f.cfg.Tick)
 	}
-	f.pullCompletions()
+	f.pullCompletions(f.cfg.Duration)
 	f.finish()
 	return f.res
 }
@@ -383,6 +452,10 @@ func (f *Fleet) spawnReplica(t target, readyAt sim.Time) {
 	f.handles = append(f.handles, h)
 	n.handles = append(n.handles, h)
 	m.replicas = append(m.replicas, h)
+	if f.gw != nil {
+		f.handleByID[h.id] = h
+		h.breaker = f.gw.AddReplica(h.id)
+	}
 }
 
 // drainReplica starts a graceful drain: no new routing, queued and
@@ -401,18 +474,43 @@ func (f *Fleet) modelByName(name string) *modelState {
 	panic("cluster: unknown model " + name)
 }
 
-// pullCompletions collects finished requests from every live replica, in
-// handle order, and feeds them to the router's accounting.
-func (f *Fleet) pullCompletions() {
+// pullCompletions collects finished requests from every live replica and
+// feeds them to the router's accounting. Without a gateway they are
+// absorbed in handle order, as before. With one they are replayed in
+// virtual-time order instead: the hedge winner is whichever copy finished
+// first on the fleet clock, which handle iteration order must not decide.
+func (f *Fleet) pullCompletions(now sim.Time) {
+	if f.gw == nil {
+		for _, h := range f.handles {
+			if h.dead {
+				continue
+			}
+			f.complBuf = h.rep.TakeCompletions(f.complBuf[:0])
+			m := f.modelByName(h.model)
+			for _, c := range f.complBuf {
+				f.router.absorb(m, h, c, now)
+			}
+		}
+		return
+	}
+	f.complPairs = f.complPairs[:0]
 	for _, h := range f.handles {
 		if h.dead {
 			continue
 		}
 		f.complBuf = h.rep.TakeCompletions(f.complBuf[:0])
-		m := f.modelByName(h.model)
 		for _, c := range f.complBuf {
-			f.router.absorb(m, h, c)
+			f.complPairs = append(f.complPairs, complPair{h: h, c: c})
 		}
+	}
+	sort.SliceStable(f.complPairs, func(i, j int) bool {
+		if f.complPairs[i].c.End != f.complPairs[j].c.End {
+			return f.complPairs[i].c.End < f.complPairs[j].c.End
+		}
+		return f.complPairs[i].h.id < f.complPairs[j].h.id
+	})
+	for _, p := range f.complPairs {
+		f.router.absorb(f.modelByName(p.h.model), p.h, p.c, now)
 	}
 }
 
@@ -431,16 +529,31 @@ func (f *Fleet) applyFaults(now sim.Time) {
 		} else {
 			n.downUntil = -1
 		}
+		// Mark every handle dead before running the gateway's loss pass, so
+		// retries cannot land on a sibling replica of the same dying node.
+		f.killedBuf = f.killedBuf[:0]
 		for _, h := range n.handles {
 			if h.dead {
 				continue
 			}
 			h.rep.Kill()
-			f.res.Failed += h.outstanding
-			f.tel.cFailed().Add(uint64(h.outstanding))
-			h.outstanding = 0
 			h.dead = true
 			h.draining = true
+			f.killedBuf = append(f.killedBuf, h)
+		}
+		for _, h := range f.killedBuf {
+			if f.gw != nil {
+				// The gateway knows which copies sat on the replica:
+				// requests with a surviving hedge continue, the rest retry
+				// on live replicas (budget permitting) or fail.
+				failed := f.gw.OnReplicaDown(h.id, now)
+				f.res.Failed += failed
+				f.tel.cFailed().Add(uint64(failed))
+			} else {
+				f.res.Failed += h.outstanding
+				f.tel.cFailed().Add(uint64(h.outstanding))
+			}
+			h.outstanding = 0
 		}
 		f.res.NodeFaults++
 		f.tel.cNodeFaults().Inc()
@@ -471,9 +584,15 @@ func (f *Fleet) reap() {
 	for _, h := range f.handles {
 		if !h.dead && h.draining && h.rep.Drained() {
 			h.dead = true
+			if f.gw != nil {
+				f.gw.RemoveReplica(h.id)
+			}
 		}
 		if h.dead {
 			changed = true
+			if f.gw != nil {
+				delete(f.handleByID, h.id)
+			}
 		}
 	}
 	if !changed {
@@ -491,16 +610,43 @@ func (f *Fleet) reap() {
 // routeTick drains admission queues, then generates and routes the tick's
 // arrivals. Arrivals across models are merged by (time, model index) so the
 // decision order is deterministic; each routed request is scheduled onto
-// its node at the exact arrival timestamp.
+// its node at the exact arrival timestamp. With a rate-limiting gateway,
+// admission tokens are contended in priority order — highest class and
+// tightest deadline first, so under overload the lowest-priority,
+// most-slack work is what the emptying buckets shed — while admitted
+// requests still route in arrival-time order.
 func (f *Fleet) routeTick(from, to sim.Time) {
 	for _, m := range f.router.models {
 		f.router.drainQueue(m, from)
 	}
 	for i, w := range f.cfg.Workloads {
-		f.arrivalBufs[i] = workload.Arrivals(w.Gen, f.arrivalRngs[i], from, to, f.arrivalBufs[i][:0])
+		f.arrivalBufs[i] = workload.TenantArrivals(w.Gen, f.arrivalRngs[i], f.cfg.Tenants, from, to, f.arrivalBufs[i][:0])
 	}
 	// k-way merge by (time, model index).
 	idx := make([]int, len(f.arrivalBufs))
+	if f.gw == nil {
+		for {
+			best := -1
+			var bestT sim.Time
+			for i := range f.arrivalBufs {
+				if idx[i] >= len(f.arrivalBufs[i]) {
+					continue
+				}
+				t := f.arrivalBufs[i][idx[i]].At
+				if best < 0 || t < bestT {
+					best, bestT = i, t
+				}
+			}
+			if best < 0 {
+				return
+			}
+			idx[best]++
+			f.res.Arrivals++
+			f.router.route(f.router.models[best], bestT, from, 0)
+		}
+	}
+
+	f.admitBuf = f.admitBuf[:0]
 	for {
 		best := -1
 		var bestT sim.Time
@@ -508,17 +654,65 @@ func (f *Fleet) routeTick(from, to sim.Time) {
 			if idx[i] >= len(f.arrivalBufs[i]) {
 				continue
 			}
-			t := f.arrivalBufs[i][idx[i]]
+			t := f.arrivalBufs[i][idx[i]].At
 			if best < 0 || t < bestT {
 				best, bestT = i, t
 			}
 		}
 		if best < 0 {
-			return
+			break
 		}
+		a := f.arrivalBufs[best][idx[best]]
 		idx[best]++
-		f.res.Arrivals++
-		f.router.route(f.router.models[best], bestT, from)
+		ten := f.gw.TenantIndex(a.Tenant)
+		m := f.router.models[best]
+		f.admitBuf = append(f.admitBuf, admission{
+			at:       a.At,
+			deadline: a.At + sim.Duration(m.sloUs),
+			model:    best,
+			tenant:   ten,
+			class:    f.gw.Class(ten),
+		})
+	}
+	f.res.Arrivals += len(f.admitBuf)
+
+	// Admission order: merge order when nothing is rate-limited (order
+	// cannot matter, and the sort would disturb the gateway-off baseline);
+	// (class, deadline, merge order) when buckets are finite.
+	f.orderBuf = f.orderBuf[:0]
+	for i := range f.admitBuf {
+		f.orderBuf = append(f.orderBuf, i)
+	}
+	if f.cfg.Gateway.RateLimited() {
+		sort.SliceStable(f.orderBuf, func(x, y int) bool {
+			a, b := &f.admitBuf[f.orderBuf[x]], &f.admitBuf[f.orderBuf[y]]
+			if a.class != b.class {
+				return a.class < b.class
+			}
+			return a.deadline < b.deadline
+		})
+	}
+	for _, i := range f.orderBuf {
+		a := &f.admitBuf[i]
+		if f.gw.Admit(from, a.at, a.model, a.tenant) == gateway.Admitted {
+			a.admitted = true
+			continue
+		}
+		m := f.router.models[a.model]
+		m.arrivals++
+		m.rejected++
+		f.tel.cRejected().Inc()
+		if f.router.log != nil {
+			f.router.seq++
+			fmt.Fprintf(f.router.log, "%d %s->shed\n", f.router.seq, m.name)
+		}
+	}
+	// Route the admitted requests in their original arrival order.
+	for i := range f.admitBuf {
+		a := &f.admitBuf[i]
+		if a.admitted {
+			f.router.route(f.router.models[a.model], a.at, from, a.tenant)
+		}
 	}
 }
 
@@ -599,6 +793,9 @@ func (f *Fleet) finish() {
 	}
 	if f.router.log != nil {
 		f.res.RoutingLog = f.router.log.String()
+	}
+	if f.gw != nil {
+		f.res.Gateway = f.gw.Snapshot()
 	}
 }
 

@@ -1,0 +1,81 @@
+package gateway
+
+import (
+	"krisp/internal/sim"
+)
+
+// TokenBucket is a deterministic virtual-time token bucket: tokens refill
+// continuously at Rate per virtual second up to Burst. All arithmetic is
+// driven by the caller's clock — the bucket never reads wall time and never
+// allocates, so admission decisions are reproducible and free of heap
+// traffic.
+type TokenBucket struct {
+	rate   float64 // tokens per virtual second
+	burst  float64 // bucket depth
+	tokens float64
+	last   sim.Time
+}
+
+// NewTokenBucket returns a full bucket. A non-positive rate disables the
+// bucket: Take always succeeds.
+func NewTokenBucket(ratePerSec, burst float64) TokenBucket {
+	if burst <= 0 {
+		burst = 1
+	}
+	return TokenBucket{rate: ratePerSec, burst: burst, tokens: burst}
+}
+
+// Refill advances the bucket to now. Callers refill once per control tick;
+// Take between refills sees a consistent snapshot.
+func (b *TokenBucket) Refill(now sim.Time) {
+	if b.rate <= 0 || now <= b.last {
+		b.last = now
+		return
+	}
+	b.tokens += b.rate * float64(now-b.last) / float64(sim.Second)
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// Take consumes n tokens if available (or if the bucket is unlimited) and
+// reports whether it did.
+func (b *TokenBucket) Take(n float64) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// TakeAbove consumes n tokens only while the post-take level stays at or
+// above reserve — the mechanism behind priority classes: lower classes must
+// leave a reserve for higher ones, so under overload they starve first.
+func (b *TokenBucket) TakeAbove(n, reserve float64) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	if b.tokens-n < reserve {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Put returns n tokens (a refund for a reservation that was not used).
+func (b *TokenBucket) Put(n float64) {
+	if b.rate <= 0 {
+		return
+	}
+	b.tokens += n
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Tokens returns the current level (meaningful only between Refills).
+func (b *TokenBucket) Tokens() float64 { return b.tokens }

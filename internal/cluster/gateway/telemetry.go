@@ -1,0 +1,158 @@
+package gateway
+
+import (
+	"fmt"
+
+	"krisp/internal/telemetry"
+)
+
+// Telemetry mirrors gateway decisions into the live metrics registry as
+// the krisp_gateway_* series. Nil-safe throughout: a nil registry yields a
+// nil *Telemetry whose methods no-op, and fleet results are byte-identical
+// with telemetry on or off — it only observes.
+type Telemetry struct {
+	admitted     *telemetry.Counter
+	shedDeadline *telemetry.Counter
+	shedTenant   *telemetry.Counter
+	shedOverload *telemetry.Counter
+	shedQueue    *telemetry.Counter
+
+	hedges       *telemetry.Counter
+	hedgeWins    *telemetry.Counter
+	retries      *telemetry.Counter
+	cancelled    *telemetry.Counter
+	budgetDenied *telemetry.Counter
+
+	breakerOpens     *telemetry.Counter
+	breakerHalfOpens *telemetry.Counter
+	breakerCloses    *telemetry.Counter
+	breakersOpen     *telemetry.Gauge
+
+	tenantAdmitted []*telemetry.Counter
+	tenantShed     []*telemetry.Counter
+}
+
+// NewTelemetry registers the gateway series. A nil registry returns nil.
+func NewTelemetry(reg *telemetry.Registry, tenants []Tenant) *Telemetry {
+	if reg == nil {
+		return nil
+	}
+	t := &Telemetry{
+		admitted:     reg.Counter("krisp_gateway_admitted_total", "requests admitted by the gateway"),
+		shedDeadline: reg.Counter(`krisp_gateway_shed_total{reason="deadline"}`, "requests shed at admission: SLO already infeasible"),
+		shedTenant:   reg.Counter(`krisp_gateway_shed_total{reason="tenant-rate"}`, "requests shed at admission: tenant token bucket empty"),
+		shedOverload: reg.Counter(`krisp_gateway_shed_total{reason="overload"}`, "requests shed at admission: global bucket below the class reserve"),
+		shedQueue:    reg.Counter(`krisp_gateway_shed_total{reason="queue"}`, "admitted requests shed from the router queue: deadline no longer feasible"),
+
+		hedges:       reg.Counter("krisp_gateway_hedges_total", "hedge copies sent"),
+		hedgeWins:    reg.Counter("krisp_gateway_hedge_wins_total", "requests whose hedge copy completed first"),
+		retries:      reg.Counter("krisp_gateway_retries_total", "requests re-sent after every copy died with its replica"),
+		cancelled:    reg.Counter("krisp_gateway_cancelled_total", "losing hedge copies cancelled"),
+		budgetDenied: reg.Counter("krisp_gateway_budget_denied_total", "hedges/retries refused by the retry budget"),
+
+		breakerOpens:     reg.Counter("krisp_gateway_breaker_opens_total", "circuit breaker transitions to open"),
+		breakerHalfOpens: reg.Counter("krisp_gateway_breaker_half_opens_total", "circuit breaker transitions to half-open"),
+		breakerCloses:    reg.Counter("krisp_gateway_breaker_closes_total", "circuit breaker transitions back to closed"),
+		breakersOpen:     reg.Gauge("krisp_gateway_breakers_open", "replicas currently behind an open breaker"),
+	}
+	for _, ten := range tenants {
+		t.tenantAdmitted = append(t.tenantAdmitted, reg.Counter(
+			fmt.Sprintf(`krisp_gateway_tenant_admitted_total{tenant="%d"}`, ten.ID),
+			"requests admitted per tenant"))
+		t.tenantShed = append(t.tenantShed, reg.Counter(
+			fmt.Sprintf(`krisp_gateway_tenant_shed_total{tenant="%d"}`, ten.ID),
+			"requests shed per tenant"))
+	}
+	return t
+}
+
+func (t *Telemetry) admit(tenantIdx int) {
+	if t == nil {
+		return
+	}
+	t.admitted.Inc()
+	t.tenantAdmitted[tenantIdx].Inc()
+}
+
+func (t *Telemetry) shed(v Verdict, tenantIdx int) {
+	if t == nil {
+		return
+	}
+	switch v {
+	case ShedDeadline:
+		t.shedDeadline.Inc()
+	case ShedTenantRate:
+		t.shedTenant.Inc()
+	case ShedOverload:
+		t.shedOverload.Inc()
+	}
+	t.tenantShed[tenantIdx].Inc()
+}
+
+func (t *Telemetry) queueShed(tenantIdx int) {
+	if t == nil {
+		return
+	}
+	t.shedQueue.Inc()
+	t.tenantShed[tenantIdx].Inc()
+}
+
+func (t *Telemetry) hedge() {
+	if t != nil {
+		t.hedges.Inc()
+	}
+}
+
+func (t *Telemetry) hedgeWin() {
+	if t != nil {
+		t.hedgeWins.Inc()
+	}
+}
+
+func (t *Telemetry) retry() {
+	if t != nil {
+		t.retries.Inc()
+	}
+}
+
+func (t *Telemetry) cancel() {
+	if t != nil {
+		t.cancelled.Inc()
+	}
+}
+
+func (t *Telemetry) denied() {
+	if t != nil {
+		t.budgetDenied.Inc()
+	}
+}
+
+func (t *Telemetry) breakerOpen() {
+	if t == nil {
+		return
+	}
+	t.breakerOpens.Inc()
+	t.breakersOpen.Add(1)
+}
+
+func (t *Telemetry) breakerHalfOpen() {
+	if t == nil {
+		return
+	}
+	t.breakerHalfOpens.Inc()
+	t.breakersOpen.Add(-1)
+}
+
+func (t *Telemetry) breakerClose() {
+	if t != nil {
+		t.breakerCloses.Inc()
+	}
+}
+
+// breakerGone adjusts the open gauge when an open breaker's replica is
+// removed (node death or drain) rather than recovering.
+func (t *Telemetry) breakerGone() {
+	if t != nil {
+		t.breakersOpen.Add(-1)
+	}
+}

@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
 
+	"krisp/internal/cluster/gateway"
 	"krisp/internal/metrics"
 	"krisp/internal/server"
 	"krisp/internal/sim"
@@ -114,18 +116,23 @@ type replicaHandle struct {
 	draining  bool
 	dead      bool
 
+	// breaker is the replica's circuit breaker when a gateway fronts the
+	// fleet; nil otherwise (and nil always allows).
+	breaker *gateway.Breaker
+
 	outstanding int
 	routed      int
 	lat         latWindow
 }
 
 func (h *replicaHandle) routable(now sim.Time) bool {
-	return !h.dead && !h.draining && h.readyAt <= now
+	return !h.dead && !h.draining && h.readyAt <= now && h.breaker.Allow(now)
 }
 
 // queuedReq is one admission-queued request.
 type queuedReq struct {
 	arrival sim.Time
+	tenant  int // dense gateway tenant index; 0 without a gateway
 }
 
 // modelState is the router's per-model bookkeeping: the live replica set,
@@ -158,6 +165,12 @@ type router struct {
 	models         []*modelState
 	tel            *fleetTelemetry
 
+	// gw, when non-nil, is the resilience gateway fronting this router:
+	// sends carry request identities, queue sheds report back, and the
+	// deadline oracle tightens queue admission.
+	gw     *gateway.Gateway
+	reqSeq uint64 // request identity allocator (gateway mode; ids start at 1)
+
 	// log records every routing decision when non-nil (determinism tests,
 	// debugging). One line per request: "<seq> <model>-><replica id>" or
 	// "<seq> <model>->reject".
@@ -179,15 +192,68 @@ func newRouter(policy Policy, seed int64, outstandingCap, queueCap int, tel *fle
 	return r
 }
 
+// predictUs is the SLO-aware completion-latency estimate for one candidate
+// replica: its recently observed request P95 (which already folds in its
+// service speed and typical queueing) scaled by how many batches the
+// backlog represents. A replica with no history gets a prior of half the
+// SLO (the expected healthy latency) that escalates with its backlog: a
+// dead-silent replica — routed to, never completing — must not keep
+// winning on a flat neutral prior while its queue grows without bound.
+func predictUs(m *modelState, h *replicaHandle) float64 {
+	p95 := h.lat.p95()
+	if h.lat.n == 0 {
+		p95 = m.sloUs / 2 * (1 + float64(h.outstanding))
+	}
+	return p95 * (1 + float64(h.outstanding)/float64(m.batch))
+}
+
+// feasibleUs is the absolute completion-latency estimate used for deadline
+// admission. Unlike predictUs — a relative score where over-penalising
+// backlog is harmless because every candidate is scored the same way — this
+// must not double-count: the observed P95 already folds in the queueing a
+// replica sees at its steady-state depth, so only backlog beyond one
+// in-flight batch (true excess queue) escalates the estimate.
+func feasibleUs(m *modelState, h *replicaHandle) float64 {
+	p95 := h.lat.p95()
+	if h.lat.n == 0 {
+		p95 = m.sloUs / 2 * (1 + float64(h.outstanding))
+	}
+	excess := float64(h.outstanding - m.batch)
+	if excess < 0 {
+		excess = 0
+	}
+	return p95 * (1 + excess/float64(m.batch))
+}
+
+// bestPredictUs is the deadline-admission oracle: the predicted latency of
+// the model's best routable replica right now (+Inf when none is
+// routable). Replicas at their outstanding cap still count — the queue
+// drains into them — so one gray replica's tail cannot force fleet-wide
+// deadline sheds while healthy capacity remains.
+func (r *router) bestPredictUs(m *modelState, now sim.Time) float64 {
+	best := math.Inf(1)
+	for _, h := range m.replicas {
+		if !h.routable(now) {
+			continue
+		}
+		if s := feasibleUs(m, h); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
 // pick selects a routable replica with admission headroom, or nil when
 // every candidate is at its outstanding cap (the request then queues).
-func (r *router) pick(m *modelState, now sim.Time) *replicaHandle {
+// exclude skips one replica id (hedge copies must land elsewhere); -1
+// excludes nothing.
+func (r *router) pick(m *modelState, now sim.Time, exclude int) *replicaHandle {
 	switch r.policy {
 	case RoundRobin:
 		n := len(m.replicas)
 		for i := 0; i < n; i++ {
 			h := m.replicas[(m.rrNext+i)%n]
-			if h.routable(now) && h.outstanding < r.outstandingCap {
+			if h.id != exclude && h.routable(now) && h.outstanding < r.outstandingCap {
 				m.rrNext = (m.rrNext + i + 1) % n
 				return h
 			}
@@ -197,7 +263,7 @@ func (r *router) pick(m *modelState, now sim.Time) *replicaHandle {
 	case LeastOutstanding:
 		var best *replicaHandle
 		for _, h := range m.replicas {
-			if !h.routable(now) || h.outstanding >= r.outstandingCap {
+			if h.id == exclude || !h.routable(now) || h.outstanding >= r.outstandingCap {
 				continue
 			}
 			if best == nil || h.outstanding < best.outstanding {
@@ -209,7 +275,7 @@ func (r *router) pick(m *modelState, now sim.Time) *replicaHandle {
 	case PowerOfTwo:
 		var ready []*replicaHandle
 		for _, h := range m.replicas {
-			if h.routable(now) {
+			if h.id != exclude && h.routable(now) {
 				ready = append(ready, h)
 			}
 		}
@@ -233,22 +299,10 @@ func (r *router) pick(m *modelState, now sim.Time) *replicaHandle {
 		var best *replicaHandle
 		bestScore := 0.0
 		for _, h := range m.replicas {
-			if !h.routable(now) || h.outstanding >= r.outstandingCap {
+			if h.id == exclude || !h.routable(now) || h.outstanding >= r.outstandingCap {
 				continue
 			}
-			// Predicted completion latency: the replica's recently observed
-			// request P95 (which already folds in its service speed and
-			// typical queueing) scaled by how many batches the backlog
-			// represents. A replica with no history gets a neutral prior of
-			// half the SLO (the expected healthy latency) — scoring it 0
-			// would herd every arrival onto fresh replicas no matter how
-			// deep their backlog grew.
-			p95 := h.lat.p95()
-			if h.lat.n == 0 {
-				p95 = m.sloUs / 2
-			}
-			waves := 1 + float64(h.outstanding)/float64(m.batch)
-			score := p95 * waves
+			score := predictUs(m, h)
 			if best == nil || score < bestScore || (score == bestScore && h.id < best.id) {
 				best, bestScore = h, score
 			}
@@ -262,16 +316,17 @@ func (r *router) pick(m *modelState, now sim.Time) *replicaHandle {
 
 // route admits one request that arrived at the given time: hand it to a
 // replica, queue it, or reject it. Routed requests are scheduled onto the
-// chosen replica's node at their arrival timestamp.
-func (r *router) route(m *modelState, arrival sim.Time, now sim.Time) {
+// chosen replica's node at their arrival timestamp. tenant is the dense
+// gateway tenant index (0 without a gateway).
+func (r *router) route(m *modelState, arrival sim.Time, now sim.Time, tenant int) {
 	r.seq++
 	m.arrivals++
-	if h := r.pick(m, now); h != nil {
-		r.send(m, h, arrival)
+	if h := r.pick(m, now, -1); h != nil {
+		r.send(m, h, arrival, now, tenant)
 		return
 	}
 	if len(m.queue) < r.queueCap {
-		m.queue = append(m.queue, queuedReq{arrival: arrival})
+		m.queue = append(m.queue, queuedReq{arrival: arrival, tenant: tenant})
 		return
 	}
 	m.rejected++
@@ -281,8 +336,9 @@ func (r *router) route(m *modelState, arrival sim.Time, now sim.Time) {
 	}
 }
 
-// send commits one request to a replica.
-func (r *router) send(m *modelState, h *replicaHandle, arrival sim.Time) {
+// send commits one request to a replica. In gateway mode the request gets
+// a fresh identity so its copies can be hedged, cancelled, and matched.
+func (r *router) send(m *modelState, h *replicaHandle, arrival, now sim.Time, tenant int) {
 	h.outstanding++
 	h.routed++
 	m.routed++
@@ -292,24 +348,42 @@ func (r *router) send(m *modelState, h *replicaHandle, arrival sim.Time) {
 	}
 	rep := h.rep
 	at := arrival
+	if r.gw != nil {
+		r.reqSeq++
+		id := r.reqSeq
+		r.gw.OnPrimarySend(id, m.index, tenant, h.id, arrival, now)
+		h.nodeRef.node.Schedule(at, func() { rep.SubmitID(at, id) })
+		return
+	}
 	h.nodeRef.node.Schedule(at, func() { rep.Submit(at) })
 }
 
 // drainQueue re-attempts queued requests (oldest first) and sheds the ones
 // whose wait already exceeds the model's SLO — they cannot complete in
 // time, so admission control fails them fast instead of letting them rot.
+// A gateway tightens the test: a request is also shed once the best
+// routable replica's predicted latency no longer fits its remaining
+// deadline budget.
 func (r *router) drainQueue(m *modelState, now sim.Time) {
 	keep := m.queue[:0]
 	for i := range m.queue {
 		q := m.queue[i]
-		if float64(now-q.arrival) > m.sloUs {
+		wait := float64(now - q.arrival)
+		infeasible := wait > m.sloUs
+		if !infeasible && r.gw != nil && r.gw.DeadlineEnabled() {
+			infeasible = r.bestPredictUs(m, now) > m.sloUs-wait
+		}
+		if infeasible {
 			m.rejected++
 			r.tel.cRejected().Inc()
+			if r.gw != nil {
+				r.gw.OnQueueShed(m.index, q.tenant)
+			}
 			continue
 		}
-		if h := r.pick(m, now); h != nil {
+		if h := r.pick(m, now, -1); h != nil {
 			r.seq++
-			r.send(m, h, q.arrival)
+			r.send(m, h, q.arrival, now, q.tenant)
 			continue
 		}
 		keep = append(keep, q)
@@ -317,13 +391,24 @@ func (r *router) drainQueue(m *modelState, now sim.Time) {
 	m.queue = keep
 }
 
-// absorb processes one pulled completion.
-func (r *router) absorb(m *modelState, h *replicaHandle, c server.Completion) {
+// absorb processes one pulled completion. Cancelled copies only release
+// their occupancy; in gateway mode a completion counts as a served request
+// only when the gateway rules it the winning copy.
+func (r *router) absorb(m *modelState, h *replicaHandle, c server.Completion, now sim.Time) {
 	if h.outstanding > 0 {
 		h.outstanding--
 	}
+	if c.Cancelled {
+		return
+	}
 	lat := float64(c.End - c.Arrival)
 	h.lat.add(lat)
+	if r.gw != nil && !r.gw.OnCompletion(c.ID, h.id, c.End, now) {
+		// The losing copy of a hedge (or a stale copy of a retried
+		// request): evidence for the replica's latency window above, but
+		// not a served request.
+		return
+	}
 	m.completed++
 	m.latency.Add(lat)
 	r.tel.cCompleted().Inc()

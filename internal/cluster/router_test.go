@@ -23,7 +23,7 @@ func TestPickRoundRobinCycles(t *testing.T) {
 	m := fakeModel(3)
 	var got []int
 	for i := 0; i < 6; i++ {
-		h := r.pick(m, 0)
+		h := r.pick(m, 0, -1)
 		if h == nil {
 			t.Fatal("no replica picked")
 		}
@@ -45,7 +45,7 @@ func TestPickSkipsUnroutable(t *testing.T) {
 		m.replicas[1].dead = true
 		m.replicas[2].readyAt = 100 // not ready at t=0
 		for i := 0; i < 5; i++ {
-			h := r.pick(m, 0)
+			h := r.pick(m, 0, -1)
 			if h == nil {
 				t.Fatalf("%v: no replica picked", p)
 			}
@@ -56,7 +56,7 @@ func TestPickSkipsUnroutable(t *testing.T) {
 		// At t=100 the warming replica becomes eligible.
 		seen := map[int]bool{}
 		for i := 0; i < 8; i++ {
-			seen[r.pick(m, 100).id] = true
+			seen[r.pick(m, 100, -1).id] = true
 		}
 		if !seen[2] && p != SLOAware {
 			// SLO-aware may legitimately stick to one replica while
@@ -73,7 +73,7 @@ func TestPickLeastOutstanding(t *testing.T) {
 	m.replicas[0].outstanding = 2
 	m.replicas[1].outstanding = 1
 	m.replicas[2].outstanding = 3
-	if h := r.pick(m, 0); h.id != 1 {
+	if h := r.pick(m, 0, -1); h.id != 1 {
 		t.Fatalf("picked %d, want 1", h.id)
 	}
 }
@@ -84,11 +84,11 @@ func TestPickRespectsOutstandingCap(t *testing.T) {
 		m := fakeModel(2)
 		m.replicas[0].outstanding = 4
 		m.replicas[1].outstanding = 4
-		if h := r.pick(m, 0); h != nil {
+		if h := r.pick(m, 0, -1); h != nil {
 			t.Fatalf("%v: picked replica %d with every candidate at cap", p, h.id)
 		}
 		m.replicas[1].outstanding = 3
-		if h := r.pick(m, 0); h == nil || h.id != 1 {
+		if h := r.pick(m, 0, -1); h == nil || h.id != 1 {
 			t.Fatalf("%v: did not pick the only replica under cap", p)
 		}
 	}
@@ -103,7 +103,7 @@ func TestSLOAwareAvoidsSlowReplica(t *testing.T) {
 		m.replicas[1].lat.add(50000)
 	}
 	for i := 0; i < 3; i++ {
-		h := r.pick(m, 0)
+		h := r.pick(m, 0, -1)
 		if h.id != 0 {
 			t.Fatalf("picked slow replica %d", h.id)
 		}
@@ -113,7 +113,7 @@ func TestSLOAwareAvoidsSlowReplica(t *testing.T) {
 	// slow one, traffic spills over: 5000*(1+o/8) > 50000 at o >= 72, which
 	// is above the cap, so here it saturates at the cap instead.
 	m.replicas[0].outstanding = 4
-	if h := r.pick(m, 0); h == nil || h.id != 1 {
+	if h := r.pick(m, 0, -1); h == nil || h.id != 1 {
 		t.Fatal("did not spill to the slow replica at cap")
 	}
 }
@@ -122,7 +122,7 @@ func TestRouteQueuesThenRejects(t *testing.T) {
 	r := testRouter(RoundRobin) // queueCap = 8
 	m := fakeModel(0)           // no replicas at all
 	for i := 0; i < 10; i++ {
-		r.route(m, 0, 0)
+		r.route(m, 0, 0, 0)
 	}
 	if m.arrivals != 10 {
 		t.Fatalf("arrivals = %d, want 10", m.arrivals)
@@ -171,5 +171,72 @@ func TestLatWindowP95(t *testing.T) {
 	w.add(1e9)
 	if w.p95() <= got {
 		t.Fatal("p95 did not react to a new extreme sample")
+	}
+}
+
+func TestSLOAwareAvoidsDeadSilentReplica(t *testing.T) {
+	// Regression: a replica with zero healthy history — routed to, never
+	// completing — must not keep winning on a flat neutral prior while its
+	// queue grows. The no-history prior escalates with backlog, so after a
+	// bounded number of probes all traffic shifts to the proven-but-slow
+	// replica that is at least alive.
+	r := newRouter(SLOAware, 1, 32, 8, nil, false)
+	m := fakeModel(2)
+	// Replica 1 is alive but slow: its observed P95 (25000us) is worse than
+	// the neutral prior (sloUs/2 = 10000us), the regime where the old flat
+	// prior made the silent replica win forever.
+	for i := 0; i < 20; i++ {
+		m.replicas[1].lat.add(25000)
+	}
+	silentPicks := 0
+	for i := 0; i < 40; i++ {
+		h := r.pick(m, 0, -1)
+		if h == nil {
+			t.Fatal("no replica picked")
+		}
+		h.outstanding++
+		if h.id == 0 {
+			silentPicks++ // never completes: outstanding only grows
+		} else {
+			// The live replica completes what it gets.
+			h.outstanding--
+			h.lat.add(25000)
+		}
+	}
+	if silentPicks == 0 {
+		t.Fatal("silent replica never probed: prior too pessimistic")
+	}
+	if silentPicks > 4 {
+		t.Fatalf("dead-silent replica won %d of 40 picks; prior must escalate with backlog", silentPicks)
+	}
+	// And with hindsight: the next pick goes to the live replica.
+	if h := r.pick(m, 0, -1); h.id != 0 && h.id != 1 {
+		t.Fatal("no pick")
+	} else if h.id == 0 {
+		t.Fatal("still routing to the dead-silent replica")
+	}
+}
+
+func TestFeasibleUsNoBacklogDoubleCount(t *testing.T) {
+	// The admission oracle must not double-count steady-state queueing: the
+	// observed P95 already includes it, so backlog up to one in-flight batch
+	// leaves the estimate at P95, and only excess queue escalates it.
+	m := fakeModel(1)
+	h := m.replicas[0]
+	for i := 0; i < 20; i++ {
+		h.lat.add(8000)
+	}
+	h.outstanding = m.batch // one batch in flight: no excess
+	if got := feasibleUs(m, h); got != 8000 {
+		t.Fatalf("feasibleUs at one batch = %v, want the raw p95 8000", got)
+	}
+	h.outstanding = 3 * m.batch // two batches of excess queue
+	if got := feasibleUs(m, h); got != 8000*3 {
+		t.Fatalf("feasibleUs at 3x batch = %v, want 24000", got)
+	}
+	// Relative routing score still escalates from the first request.
+	h.outstanding = m.batch
+	if got := predictUs(m, h); got <= 8000 {
+		t.Fatalf("predictUs = %v, must penalise backlog for ranking", got)
 	}
 }

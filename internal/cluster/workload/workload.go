@@ -115,6 +115,72 @@ func Arrivals(g Generator, rng *rand.Rand, from, to sim.Time, buf []sim.Time) []
 	}
 }
 
+// TenantShare is one tenant's slice of an arrival stream: arrivals are
+// attributed to tenants in proportion to Weight. It describes the traffic
+// mix only — entitlement (how much of that traffic is admitted) lives in
+// the gateway's tenant config, so a tenant can offer more than its fair
+// share and be shed back down.
+type TenantShare struct {
+	ID     int
+	Weight float64 // non-positive means 1
+}
+
+// TenantArrival is one arrival tagged with the tenant that issued it.
+type TenantArrival struct {
+	At     sim.Time
+	Tenant int // TenantShare.ID
+}
+
+// TenantArrivals appends every arrival in [from, to) to buf with a tenant
+// drawn per arrival in proportion to the shares' weights. With zero or one
+// share no tenant draw happens and the rng is consumed exactly as Arrivals
+// consumes it, so single-tenant traces are byte-identical in their
+// timestamps to the untagged generator (the regression the workload tests
+// pin down).
+func TenantArrivals(g Generator, rng *rand.Rand, shares []TenantShare, from, to sim.Time, buf []TenantArrival) []TenantArrival {
+	peak := g.MaxRate()
+	if peak <= 0 || to <= from {
+		return buf
+	}
+	single := 0
+	if len(shares) >= 1 {
+		single = shares[0].ID
+	}
+	sumW := 0.0
+	for _, s := range shares {
+		w := s.Weight
+		if w <= 0 {
+			w = 1
+		}
+		sumW += w
+	}
+	meanGapUs := 1e6 / peak
+	for t := from; ; {
+		t += sim.Duration(rng.ExpFloat64() * meanGapUs)
+		if t >= to {
+			return buf
+		}
+		if r := g.Rate(t); r > 0 && rng.Float64() < r/peak {
+			tenant := single
+			if len(shares) > 1 {
+				tenant = shares[len(shares)-1].ID
+				u := rng.Float64() * sumW
+				for _, s := range shares {
+					w := s.Weight
+					if w <= 0 {
+						w = 1
+					}
+					if u -= w; u < 0 {
+						tenant = s.ID
+						break
+					}
+				}
+			}
+			buf = append(buf, TenantArrival{At: t, Tenant: tenant})
+		}
+	}
+}
+
 // MeanRate numerically averages the profile over [from, to) — handy for
 // sizing demand forecasts without sampling.
 func MeanRate(g Generator, from, to sim.Time) float64 {

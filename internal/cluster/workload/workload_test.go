@@ -142,3 +142,55 @@ func TestArrivalsEmptyAndDegenerate(t *testing.T) {
 		t.Fatalf("mean over empty window = %v, want the point rate", got)
 	}
 }
+
+func TestTenantArrivalsSingleTenantByteIdentical(t *testing.T) {
+	// Regression: single-tenant callers must see exactly the arrival stream
+	// Arrivals produced before tenants existed — same rng draws, same
+	// timestamps, byte for byte.
+	g := Diurnal{Trough: 800, Peak: 5000, Period: 300 * sim.Millisecond}
+	plain := Arrivals(g, rand.New(rand.NewSource(9)), 0, 400*sim.Millisecond, nil)
+	tenanted := TenantArrivals(g, rand.New(rand.NewSource(9)),
+		[]TenantShare{{ID: 7, Weight: 3}}, 0, 400*sim.Millisecond, nil)
+	if len(plain) != len(tenanted) {
+		t.Fatalf("lengths differ: %d vs %d", len(plain), len(tenanted))
+	}
+	for i := range plain {
+		if plain[i] != tenanted[i].At {
+			t.Fatalf("arrival %d: %v vs %v", i, plain[i], tenanted[i].At)
+		}
+		if tenanted[i].Tenant != 7 {
+			t.Fatalf("arrival %d tagged tenant %d, want 7", i, tenanted[i].Tenant)
+		}
+	}
+	// Nil shares behave the same: tenant 0, identical timestamps.
+	anon := TenantArrivals(g, rand.New(rand.NewSource(9)), nil, 0, 400*sim.Millisecond, nil)
+	for i := range plain {
+		if anon[i].At != plain[i] || anon[i].Tenant != 0 {
+			t.Fatalf("nil-share arrival %d = %+v, want {%v 0}", i, anon[i], plain[i])
+		}
+	}
+}
+
+func TestTenantArrivalsWeightedSplit(t *testing.T) {
+	g := Constant{RatePerSec: 5000}
+	shares := []TenantShare{{ID: 0, Weight: 1}, {ID: 1, Weight: 3}}
+	arr := TenantArrivals(g, rand.New(rand.NewSource(4)), shares, 0, 2*sim.Second, nil)
+	counts := map[int]int{}
+	for _, a := range arr {
+		counts[a.Tenant]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("tenants seen = %v, want both", counts)
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Fatalf("weight-3 tenant got %.2fx the weight-1 tenant's arrivals, want ~3x", ratio)
+	}
+	// Deterministic per seed.
+	again := TenantArrivals(g, rand.New(rand.NewSource(4)), shares, 0, 2*sim.Second, nil)
+	for i := range arr {
+		if arr[i] != again[i] {
+			t.Fatalf("arrival %d differs across identical seeds", i)
+		}
+	}
+}

@@ -19,6 +19,15 @@ const (
 	// ECC storm). It lowers the node's effective service rate without
 	// taking replicas away — the regime SLO-aware routing must detect.
 	GPUDegrade
+	// NodeGray gray-fails a whole node: every CU of every GPU is stretched
+	// and a fraction of kernel dispatches become stragglers. The node stays
+	// up, keeps accepting work, and serves it slowly — the failure mode
+	// health checks miss and circuit breakers exist for.
+	NodeGray
+	// NodeStall freezes the first HSA queue of every GPU on the node for
+	// Duration (hung packet processors; only a watchdog recovers a very
+	// long one).
+	NodeStall
 )
 
 func (k NodeFaultKind) String() string {
@@ -27,6 +36,10 @@ func (k NodeFaultKind) String() string {
 		return "node-down"
 	case GPUDegrade:
 		return "gpu-degrade"
+	case NodeGray:
+		return "node-gray"
+	case NodeStall:
+		return "node-stall"
 	default:
 		return "unknown"
 	}
@@ -39,12 +52,44 @@ type NodeFault struct {
 	Kind NodeFaultKind
 	// GPU is the device index on the node (GPUDegrade only).
 	GPU int
-	// Stretch is the per-wave slowdown for GPUDegrade (1.0 ≈ half speed).
+	// Stretch is the per-wave slowdown for GPUDegrade and NodeGray
+	// (1.0 ≈ half speed).
 	Stretch float64
+	// StragglerProb is the per-dispatch straggler probability for NodeGray
+	// (lowered into the node plan's kernel fault model).
+	StragglerProb float64
 	// Duration bounds the fault; zero means it lasts for the rest of the
 	// run. For NodeDown a recovered node rejoins empty — its replicas do
 	// not come back, the placer must re-place them.
 	Duration sim.Duration
+}
+
+// Lower folds a node-scoped fault into the node-local plan a server.Node
+// replays. GPUDegrade becomes per-CU degrades on its device; NodeGray
+// degrades every device and raises the kernel straggler probability;
+// NodeStall freezes each device's first queue. NodeDown stays a fleet-level
+// event and lowers to nothing.
+func (f NodeFault) Lower(topo gpu.Topology, gpus int, plan *Plan) {
+	switch f.Kind {
+	case GPUDegrade:
+		plan.CUDegrades = append(plan.CUDegrades, f.CUDegrades(topo)...)
+	case NodeGray:
+		for g := 0; g < gpus; g++ {
+			d := f
+			d.Kind = GPUDegrade
+			d.GPU = g
+			plan.CUDegrades = append(plan.CUDegrades, d.CUDegrades(topo)...)
+		}
+		if f.StragglerProb > plan.Kernels.StragglerProb {
+			plan.Kernels.StragglerProb = f.StragglerProb
+		}
+	case NodeStall:
+		for g := 0; g < gpus; g++ {
+			plan.QueueStalls = append(plan.QueueStalls, QueueStall{
+				At: f.At, GPU: g, Queue: 0, Duration: f.Duration,
+			})
+		}
+	}
 }
 
 // CUDegrades lowers a GPUDegrade node fault into the per-CU degrade events

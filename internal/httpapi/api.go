@@ -8,6 +8,7 @@
 //	POST /v1/simulate                       run one serving scenario
 //	GET  /v1/experiments                    list experiment ids
 //	GET  /v1/experiments/{id}?quick=1       regenerate one experiment
+//	GET  /v1/chaos                          list fleet chaos scenarios
 package httpapi
 
 import (
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"krisp/internal/bench"
+	"krisp/internal/cluster"
 	"krisp/internal/models"
 	"krisp/internal/policies"
 	"krisp/internal/profile"
@@ -34,6 +36,7 @@ func Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", handleSimulate)
 	mux.HandleFunc("GET /v1/experiments", handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{id}", handleExperiment)
+	mux.HandleFunc("GET /v1/chaos", handleChaosList)
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.HandleFunc("GET /debug/telemetry", handleTelemetryDebug)
 	return mux
@@ -228,6 +231,21 @@ func policyNames() string {
 
 func handleExperimentList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, bench.Experiments())
+}
+
+// ChaosInfo is one row of GET /v1/chaos — a fleet chaos scenario the
+// cluster simulator (and cmd/krisp-cluster -chaos) can run.
+type ChaosInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func handleChaosList(w http.ResponseWriter, r *http.Request) {
+	out := []ChaosInfo{}
+	for _, s := range cluster.ChaosScenarios() {
+		out = append(out, ChaosInfo{Name: s.Name, Description: s.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func handleExperiment(w http.ResponseWriter, r *http.Request) {

@@ -176,3 +176,27 @@ func TestMethodRouting(t *testing.T) {
 		t.Errorf("POST /v1/models: status %d, want 405", rec.Code)
 	}
 }
+
+func TestChaosList(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/chaos", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	var out []ChaosInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	names := map[string]bool{}
+	for _, s := range out {
+		if s.Description == "" {
+			t.Fatalf("scenario %q has no description", s.Name)
+		}
+		names[s.Name] = true
+	}
+	for _, want := range []string{"gray-node", "flapping-gpu", "rack-loss", "overload-burst"} {
+		if !names[want] {
+			t.Fatalf("scenario %q missing from %v", want, names)
+		}
+	}
+}

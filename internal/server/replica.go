@@ -186,7 +186,13 @@ type ReplicaSpec struct {
 
 // Completion is one finished request, reported in node-local virtual time.
 type Completion struct {
+	// ID is the caller-assigned request identity (0 for untracked submits).
+	ID           uint64
 	Arrival, End sim.Time
+	// Cancelled marks a copy revoked by Cancel while its batch was already
+	// in flight: the work ran to the batch boundary, but the result must not
+	// count as a served request.
+	Cancelled bool
 }
 
 // ReplicaStats is a point-in-time view of a replica's load.
@@ -198,6 +204,9 @@ type ReplicaStats struct {
 	CompletedRequests, CompletedBatches int
 	// Dropped counts requests discarded by Kill.
 	Dropped int
+	// Cancelled counts requests revoked by Cancel (dequeued or suppressed
+	// at the batch boundary).
+	Cancelled int
 }
 
 // Outstanding is the replica-side count of accepted-but-unfinished
@@ -215,8 +224,8 @@ type Replica struct {
 	rt   *core.Runtime
 	rng  *rand.Rand
 
-	queue    []sim.Time // arrival times waiting for a batch slot
-	inflight []sim.Time
+	queue    []pending // requests waiting for a batch slot
+	inflight []pending
 	busy     bool
 	draining bool
 	killed   bool
@@ -260,16 +269,74 @@ func (n *Node) AddReplica(spec ReplicaSpec) *Replica {
 // Spec returns the replica's placement spec.
 func (r *Replica) Spec() ReplicaSpec { return r.spec }
 
-// Submit enqueues one request that arrived at the given node-local time.
-// It returns false — and accepts nothing — once the replica is draining or
-// killed. Callers must only submit at or before the node's current clock.
+// pending is one accepted-but-unfinished request copy.
+type pending struct {
+	arrival   sim.Time
+	id        uint64
+	cancelled bool
+}
+
+// Submit enqueues one untracked request that arrived at the given
+// node-local time. It returns false — and accepts nothing — once the
+// replica is draining or killed. Callers must only submit at or before the
+// node's current clock.
 func (r *Replica) Submit(arrival sim.Time) bool {
+	return r.SubmitID(arrival, 0)
+}
+
+// SubmitID enqueues one request tagged with a caller-assigned identity, so
+// the copy can later be revoked with Cancel and its completion matched to
+// the logical request (hedged sends create two copies with the same id on
+// different replicas).
+func (r *Replica) SubmitID(arrival sim.Time, id uint64) bool {
 	if r.draining || r.killed {
 		return false
 	}
-	r.queue = append(r.queue, arrival)
+	r.queue = append(r.queue, pending{arrival: arrival, id: id})
 	r.maybeStart()
 	return true
+}
+
+// CancelOutcome reports what Cancel found.
+type CancelOutcome uint8
+
+const (
+	// CancelNotFound means no live copy with that id exists here (already
+	// completed, never submitted, or killed with the replica).
+	CancelNotFound CancelOutcome = iota
+	// CancelDequeued means the copy was still queued and was removed before
+	// consuming any GPU time.
+	CancelDequeued
+	// CancelInFlight means the copy's batch is already running: the work
+	// completes at the batch boundary, but its completion will carry
+	// Cancelled=true and must not be counted. There is no mid-kernel recall
+	// — the batch boundary is the abort granularity, the serving analog of
+	// cancelling generation at a token boundary.
+	CancelInFlight
+)
+
+// Cancel revokes the copy with the given id (the losing side of a hedge).
+// Queued copies are dequeued outright; in-flight copies are suppressed at
+// the batch boundary. id 0 (untracked) is never cancellable.
+func (r *Replica) Cancel(id uint64) CancelOutcome {
+	if id == 0 || r.killed {
+		return CancelNotFound
+	}
+	for i := range r.queue {
+		if r.queue[i].id == id {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			r.stats.Cancelled++
+			return CancelDequeued
+		}
+	}
+	for i := range r.inflight {
+		if r.inflight[i].id == id && !r.inflight[i].cancelled {
+			r.inflight[i].cancelled = true
+			r.stats.Cancelled++
+			return CancelInFlight
+		}
+	}
+	return CancelNotFound
 }
 
 // Drain stops admission; queued and in-flight requests still complete.
@@ -342,11 +409,17 @@ func (r *Replica) maybeStart() {
 					return
 				}
 				end := eng.Now()
-				for _, at := range r.inflight {
-					r.completions = append(r.completions, Completion{Arrival: at, End: end})
+				served := 0
+				for _, p := range r.inflight {
+					r.completions = append(r.completions, Completion{
+						ID: p.id, Arrival: p.arrival, End: end, Cancelled: p.cancelled,
+					})
+					if !p.cancelled {
+						served++
+					}
 				}
 				r.stats.CompletedBatches++
-				r.stats.CompletedRequests += len(r.inflight)
+				r.stats.CompletedRequests += served
 				r.inflight = r.inflight[:0]
 				r.maybeStart()
 			})

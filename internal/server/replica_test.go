@@ -180,3 +180,131 @@ func TestNodeEnergyAccumulates(t *testing.T) {
 		t.Fatal("no energy accounted for a busy node")
 	}
 }
+
+func TestReplicaCancelQueued(t *testing.T) {
+	n := testNode(t, 1)
+	rep := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 8, CUs: 8})
+	for id := uint64(1); id <= 4; id++ {
+		if !rep.SubmitID(0, id) {
+			t.Fatalf("submit %d refused", id)
+		}
+	}
+	if got := rep.Cancel(2); got != CancelDequeued {
+		t.Fatalf("cancel queued copy = %v, want CancelDequeued", got)
+	}
+	if got := rep.Cancel(2); got != CancelNotFound {
+		t.Fatalf("double cancel = %v, want CancelNotFound", got)
+	}
+	if got := rep.Cancel(99); got != CancelNotFound {
+		t.Fatalf("cancel unknown id = %v, want CancelNotFound", got)
+	}
+	n.RunUntil(sim.Second)
+	buf := rep.TakeCompletions(nil)
+	if len(buf) != 3 {
+		t.Fatalf("completions = %d, want 3 (one dequeued)", len(buf))
+	}
+	for _, c := range buf {
+		if c.ID == 2 {
+			t.Fatal("cancelled copy still completed")
+		}
+		if c.Cancelled {
+			t.Fatalf("completion %d marked cancelled", c.ID)
+		}
+	}
+	st := rep.Stats()
+	if st.Cancelled != 1 || st.CompletedRequests != 3 {
+		t.Fatalf("stats = %+v, want 1 cancelled / 3 completed", st)
+	}
+}
+
+func TestReplicaCancelInFlight(t *testing.T) {
+	n := testNode(t, 1)
+	rep := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, CUs: 8})
+	for id := uint64(1); id <= 4; id++ {
+		rep.SubmitID(0, id)
+	}
+	// Let the first batch start (greedy batching runs request 1 alone);
+	// cancellation then lands at the batch boundary, not mid-kernel.
+	n.RunUntil(50)
+	if got := rep.Cancel(1); got != CancelInFlight {
+		t.Fatalf("cancel running copy = %v, want CancelInFlight", got)
+	}
+	if got := rep.Cancel(1); got != CancelNotFound {
+		t.Fatalf("double cancel of in-flight copy = %v, want CancelNotFound", got)
+	}
+	n.RunUntil(sim.Second)
+	var cancelled int
+	for _, c := range rep.TakeCompletions(nil) {
+		if c.ID == 1 {
+			if !c.Cancelled {
+				t.Fatal("in-flight cancelled copy completed without the Cancelled mark")
+			}
+			cancelled++
+		} else if c.Cancelled {
+			t.Fatalf("completion %d marked cancelled", c.ID)
+		}
+	}
+	if cancelled != 1 {
+		t.Fatalf("cancelled completions = %d, want exactly 1", cancelled)
+	}
+	st := rep.Stats()
+	if st.CompletedRequests != 3 {
+		t.Fatalf("completed = %d, want 3 (cancelled copy not served)", st.CompletedRequests)
+	}
+	if st.Cancelled != 1 {
+		t.Fatalf("stats cancelled = %d, want 1", st.Cancelled)
+	}
+}
+
+func TestReplicaCancelAnonymousNever(t *testing.T) {
+	// Id 0 is the anonymous Submit path: it must never be cancellable, or a
+	// gateway cancel could revoke a bystander's request.
+	n := testNode(t, 1)
+	rep := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, CUs: 8})
+	rep.Submit(0)
+	if got := rep.Cancel(0); got != CancelNotFound {
+		t.Fatalf("cancel of id 0 = %v, want CancelNotFound", got)
+	}
+	n.RunUntil(sim.Second)
+	if st := rep.Stats(); st.CompletedRequests != 1 || st.Cancelled != 0 {
+		t.Fatalf("stats = %+v, want the anonymous request untouched", st)
+	}
+}
+
+func TestReplicaDrainAndKillWithCancelledCopies(t *testing.T) {
+	// Drain and Kill must stay correct when the queue and batch hold
+	// revoked hedge copies: drain still terminates, kill still drops
+	// everything, and cancelled copies never resurface as served work.
+	n := testNode(t, 2)
+	d := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, GPU: 0, CUs: 8})
+	k := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, GPU: 1, CUs: 8})
+	for id := uint64(1); id <= 6; id++ {
+		d.SubmitID(0, id)
+		k.SubmitID(0, id)
+	}
+	n.RunUntil(50) // first batches in flight
+	d.Cancel(1)    // in-flight
+	d.Cancel(6)    // queued
+	d.Drain()
+	k.Cancel(2)
+	dropped := k.Kill()
+	if dropped == 0 {
+		t.Fatal("kill dropped nothing")
+	}
+	n.RunUntil(sim.Second)
+	if !d.Drained() {
+		t.Fatal("replica with cancelled copies never drained")
+	}
+	if got := k.TakeCompletions(nil); len(got) != 0 {
+		t.Fatalf("killed replica surfaced %d completions", len(got))
+	}
+	served := 0
+	for _, c := range d.TakeCompletions(nil) {
+		if !c.Cancelled {
+			served++
+		}
+	}
+	if want := 4; served != want {
+		t.Fatalf("drained replica served %d, want %d", served, want)
+	}
+}

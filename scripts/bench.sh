@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# scripts/bench.sh — regenerate BENCH_PR5.json, the performance record for
-# the cluster fleet PR: fleet simulation throughput (serial vs parallel
-# node advancement), per-request routing-decision costs for every policy,
-# and the dispatch-path microbenchmarks carried forward from PR 4.
+# scripts/bench.sh — regenerate BENCH_PR6.json, the performance record for
+# the resilient-gateway PR: fleet simulation throughput with the gateway
+# off (the PR5 baseline) vs on, the per-request gateway admission cost
+# (which must stay at 0 allocs/op), per-request routing-decision costs for
+# every policy, and the dispatch-path microbenchmarks carried forward.
 #
 # Runs the dispatch-path microbenchmarks (alloc mask generation, hsa
 # steady-state dispatch bare and with telemetry attached, gpu launch
@@ -19,7 +20,8 @@ cd "$(dirname "$0")/.."
 benchtime="${1:-1s}"
 benchtxt=/tmp/krisp_bench_dispatch.txt
 clustertxt=/tmp/krisp_bench_cluster.txt
-out=BENCH_PR5.json
+gatewaytxt=/tmp/krisp_bench_gateway.txt
+out=BENCH_PR6.json
 
 echo "== dispatch-path microbenchmarks (benchtime=$benchtime) =="
 go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" \
@@ -28,6 +30,22 @@ go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" \
 echo "== cluster fleet benchmarks (benchtime=$benchtime) =="
 go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" \
     ./internal/cluster | tee "$clustertxt"
+
+echo "== gateway benchmarks (benchtime=$benchtime) =="
+go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" \
+    ./internal/cluster/gateway | tee "$gatewaytxt"
+
+gateway_field() { # $1 = benchmark name (after Benchmark), $2 = unit column
+    awk -v name="Benchmark$1" -v unit="$2" '
+        $1 ~ "^"name"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == unit) { print $i; exit } }
+    ' "$gatewaytxt"
+}
+
+admission_allocs=$(gateway_field GatewayAdmission allocs/op)
+if [ "$admission_allocs" != "0" ]; then
+    echo "FAIL: gateway admission allocates ($admission_allocs allocs/op, want 0)" >&2
+    exit 1
+fi
 
 cluster_field() { # $1 = benchmark name (after Benchmark), $2 = unit column
     awk -v name="Benchmark$1" -v unit="$2" '
@@ -76,9 +94,15 @@ pr3_table4_serial_ms=1648
 
 cat > "$out" <<EOF
 {
-  "pr": 5,
-  "title": "Cluster fleet subsystem: SLO-aware routing, gpulet placement, epoch autoscaling",
-  "host_note": "measured on a shared container; treat numbers as indicative. The fleet contract: serial and parallel node advancement produce byte-identical routing decisions, so FleetThroughputParallel buys wall-clock only.",
+  "pr": 6,
+  "title": "Resilient multi-tenant gateway: hedging, retry budgets, circuit breakers, and fleet-scale chaos",
+  "host_note": "measured on a shared container; treat numbers as indicative. The gateway contract: with every mechanism disabled it is byte-identical to gateway-off, and admission stays 0 allocs/op with rate limiting, classes, and deadline checks active.",
+  "gateway": {
+    "unit": {"time": "ns/op", "allocs": "allocs/op", "throughput": "routed requests per wall-second"},
+    "FleetThroughputGatewayOff": {"time": $(cluster_field FleetThroughputSerial ns/op),  "throughput": $(cluster_field FleetThroughputSerial requests/s)},
+    "FleetThroughputGatewayOn":  {"time": $(cluster_field FleetThroughputGateway ns/op), "throughput": $(cluster_field FleetThroughputGateway requests/s)},
+    "gateway.Admission": {"time": $(gateway_field GatewayAdmission ns/op), "allocs": $admission_allocs}
+  },
   "fleet": {
     "unit": {"time": "ns/op (one 300ms virtual fleet run)", "throughput": "routed requests per wall-second"},
     "FleetThroughputSerial":   {"time": $(cluster_field FleetThroughputSerial ns/op),   "throughput": $(cluster_field FleetThroughputSerial requests/s)},
