@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 
 	"krisp/internal/cluster/gateway"
@@ -66,6 +67,89 @@ func benchmarkFleet(b *testing.B, parallel int) {
 
 func BenchmarkFleetThroughputSerial(b *testing.B)   { benchmarkFleet(b, 1) }
 func BenchmarkFleetThroughputParallel(b *testing.B) { benchmarkFleet(b, 0) }
+
+// BenchmarkFleetThroughputLockstep is the same serial fleet on the
+// retained lockstep scheduler — the delta against Serial (now the
+// lookahead default) is what conservative lookahead buys at this scale.
+func BenchmarkFleetThroughputLockstep(b *testing.B) {
+	cfg := benchConfig(b, 1)
+	cfg.Sched = SchedLockstep
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total += Run(cfg).Routed
+	}
+	b.StopTimer()
+	if total == 0 {
+		b.Fatal("fleet routed nothing")
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "requests/s")
+}
+
+// scalingConfig holds per-node offered load constant while the fleet
+// grows, so the sweep measures scheduler scaling, not a shrinking
+// utilization.
+func scalingConfig(b *testing.B, nodes int) Config {
+	b.Helper()
+	m, ok := models.ByName("squeezenet")
+	if !ok {
+		b.Fatal("squeezenet missing")
+	}
+	return Config{
+		Nodes:       nodes,
+		GPUsPerNode: 2,
+		Workloads: []Workload{
+			{Model: m, Batch: 8,
+				Gen: workload.Constant{RatePerSec: 400 * float64(nodes)}},
+		},
+		Policy:   SLOAware,
+		Tick:     2 * sim.Millisecond,
+		Epoch:    50 * sim.Millisecond,
+		Duration: 300 * sim.Millisecond,
+		Seed:     7,
+		Costs: reconfig.Costs{
+			PartitionSetup: 2 * sim.Millisecond,
+			ProcessStart:   3 * sim.Millisecond,
+			ModelLoad:      10 * sim.Millisecond,
+			SwapDowntime:   55 * sim.Microsecond,
+		},
+	}
+}
+
+// BenchmarkFleetScaling is the PR7 sweep: fleet sizes 4/16/64 under the
+// serial lockstep baseline, the parallel lockstep barrier, and the
+// conservative-lookahead scheduler. All three produce identical results
+// (see TestLookaheadLockstepMatrixIdentical); only wall time differs.
+func BenchmarkFleetScaling(b *testing.B) {
+	modes := []struct {
+		name  string
+		sched Sched
+		par   int
+	}{
+		{"serial", SchedLockstep, 1},
+		{"lockstep", SchedLockstep, 0},
+		{"lookahead", SchedLookahead, 0},
+	}
+	for _, nodes := range []int{4, 16, 64} {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("nodes=%d/%s", nodes, mode.name), func(b *testing.B) {
+				cfg := scalingConfig(b, nodes)
+				cfg.Sched = mode.sched
+				cfg.Parallel = mode.par
+				total := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					total += Run(cfg).Routed
+				}
+				b.StopTimer()
+				if total == 0 {
+					b.Fatal("fleet routed nothing")
+				}
+				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "requests/s")
+			})
+		}
+	}
+}
 
 // BenchmarkFleetRoutingDecision isolates the router's per-request cost:
 // pick + accounting on a standing replica set, no simulation behind it.

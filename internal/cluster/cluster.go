@@ -77,6 +77,12 @@ type Config struct {
 	// way — each node owns its engine and RNGs, and the router only sees
 	// completions pulled at tick boundaries.
 	Parallel int
+	// Sched selects the advancement scheduler. The zero value is
+	// SchedLookahead: nodes advance only when they can act before the tick
+	// horizon, with cross-node effects carried by timestamped mailboxes.
+	// SchedLockstep keeps the per-tick barrier over every up node. Both
+	// produce byte-identical results at any Parallel setting.
+	Sched Sched
 	// Telemetry, when non-nil, exposes fleet gauges and counters (and the
 	// per-node serving stacks) on the hub's registry.
 	Telemetry *telemetry.Hub
@@ -216,6 +222,14 @@ type Fleet struct {
 	admitBuf    []admission
 	orderBuf    []int
 	killedBuf   []*replicaHandle
+
+	// now is the router-phase clock (the current tick's start), the lower
+	// bound lookahead sends clamp their delivery timestamps to; pool and
+	// activeBuf are the lookahead scheduler's persistent workers and
+	// per-tick active-node scratch.
+	now       sim.Time
+	pool      *parallel.Pool
+	activeBuf []*fleetNode
 }
 
 // complPair is one pulled completion with its handle, buffered so gateway
@@ -401,9 +415,16 @@ func New(cfg Config) *Fleet {
 
 // Run executes the fleet experiment and returns its result.
 func (f *Fleet) Run() *Result {
+	lookahead := f.cfg.Sched == SchedLookahead
+	if lookahead {
+		f.router.mailbox = true
+		f.pool = f.newAdvancePool()
+		defer f.pool.Close()
+	}
 	ticks := int(f.cfg.Duration / f.cfg.Tick)
 	for tick := 0; tick < ticks; tick++ {
 		now := sim.Time(tick) * f.cfg.Tick
+		f.now = now
 		f.pullCompletions(now)
 		f.applyFaults(now)
 		if f.gw != nil {
@@ -418,9 +439,25 @@ func (f *Fleet) Run() *Result {
 			f.gw.HedgeScan(now)
 		}
 		f.observe()
-		f.advance(now + f.cfg.Tick)
+		if lookahead {
+			f.settle(now + f.cfg.Tick)
+		} else {
+			f.advance(now + f.cfg.Tick)
+		}
 	}
+	f.now = f.cfg.Duration
 	f.pullCompletions(f.cfg.Duration)
+	if lookahead {
+		// Settled nodes may have been skipped for many ticks; their frozen
+		// state is already final, but the energy integration reads each
+		// node's clock, so fast-forward the stragglers to the end of the
+		// run. No events fire — a skipped node proved it had none due.
+		for _, n := range f.nodes {
+			if n.up {
+				n.node.RunUntil(f.cfg.Duration)
+			}
+		}
+	}
 	f.finish()
 	return f.res
 }

@@ -38,6 +38,14 @@ func (fb *fleetFabric) SendCopy(model, replica int, id uint64, arrival sim.Time,
 	h.routed++
 	rep := h.rep
 	at := arrival
+	if fb.f.router.mailbox {
+		deliver := at
+		if deliver < fb.f.now {
+			deliver = fb.f.now
+		}
+		h.nodeRef.node.PostSubmit(deliver, at, rep, id)
+		return
+	}
 	h.nodeRef.node.Schedule(at, func() { rep.SubmitID(at, id) })
 }
 

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+
+	"krisp/internal/parallel"
+	"krisp/internal/sim"
+)
+
+// Sched selects how the fleet advances its nodes between router phases.
+type Sched int
+
+const (
+	// SchedLookahead is the conservative-lookahead scheduler (the default):
+	// every tick the fleet grants each up node the horizon now+Tick, but
+	// only nodes that can actually act before the horizon — pending mail,
+	// or a simulation event at or before it — are advanced. The rest are
+	// provably idle across the window (their engines are event-driven, so
+	// no event means no state change) and keep their lagging clocks until
+	// something is posted to them. Cross-node effects travel through
+	// timestamped node mailboxes drained in (time, posting order), which
+	// makes the result byte-identical to SchedLockstep and to serial
+	// execution at any worker count.
+	SchedLookahead Sched = iota
+	// SchedLockstep is the PR5 baseline: every up node advances to the
+	// tick barrier via a fork-join pool, whether or not it has work. Kept
+	// as the benchmark comparison axis and as a differential oracle for
+	// the lookahead scheduler.
+	SchedLockstep
+)
+
+func (s Sched) String() string {
+	switch s {
+	case SchedLookahead:
+		return "lookahead"
+	case SchedLockstep:
+		return "lockstep"
+	default:
+		return "unknown"
+	}
+}
+
+// Scheds lists every fleet scheduler.
+func Scheds() []Sched { return []Sched{SchedLookahead, SchedLockstep} }
+
+// SchedByName parses a scheduler name as printed by String.
+func SchedByName(name string) (Sched, error) {
+	for _, s := range Scheds() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown scheduler %q", name)
+}
+
+// settle is the lookahead scheduler's per-tick advancement: collect the
+// nodes that can act before the horizon and advance only those, through
+// the persistent worker pool. A node is skippable exactly when it is up,
+// has no posted mail, and its earliest pending event (if any) lies beyond
+// the horizon — between events an event-driven engine's state is constant,
+// so the skipped node's frozen state equals the state a lockstep advance
+// would have produced, and the direct calls the router phase makes against
+// it (Kill, Drain, Cancel, AddReplica, TakeCompletions) read and write
+// exactly what they would have under lockstep. Skipped nodes' clocks lag;
+// they catch up on their next grant with mail or events, and Run
+// fast-forwards any still-lagging clock to Duration before the energy
+// integration at the end.
+func (f *Fleet) settle(horizon sim.Time) {
+	act := f.activeBuf[:0]
+	for _, n := range f.nodes {
+		if !n.up {
+			continue
+		}
+		if n.node.MailboxLen() > 0 {
+			act = append(act, n)
+			continue
+		}
+		if at, ok := n.node.NextEventTime(); ok && at <= horizon {
+			act = append(act, n)
+		}
+	}
+	f.activeBuf = act
+	if len(act) == 0 {
+		return
+	}
+	f.pool.Run(len(act), func(i int) { act[i].node.AdvanceTo(horizon) })
+}
+
+// newAdvancePool builds the persistent pool the lookahead scheduler fans
+// settle rounds out on. cfg.Parallel keeps its lockstep meaning: 0 picks
+// GOMAXPROCS, 1 forces serial (no goroutines at all).
+func (f *Fleet) newAdvancePool() *parallel.Pool { return parallel.NewPool(f.cfg.Parallel) }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"strings"
 
 	"krisp/internal/cluster/gateway"
@@ -80,21 +79,46 @@ func (w *latWindow) add(v float64) {
 	w.dirty = true
 }
 
-// p95 returns the window's 95th percentile, 0 when empty.
+// p95 returns the window's 95th percentile, 0 when empty. The percentile
+// index for n <= 64 samples is always within the top 4, so a single pass
+// keeping the k largest replaces the sorted-scratch approach — same value
+// (the k-th largest equals sorted[idx] even with duplicates), no copy, no
+// sort. The router recomputes this after every completion, which made it
+// one of the fleet's hottest non-simulation paths.
 func (w *latWindow) p95() float64 {
 	if w.n == 0 {
 		return 0
 	}
 	if w.dirty {
-		var scratch [64]float64
-		s := scratch[:w.n]
-		copy(s, w.buf[:w.n])
-		sort.Float64s(s)
 		idx := (w.n*95 + 99) / 100
 		if idx > 0 {
 			idx--
 		}
-		w.p95v = s[idx]
+		k := w.n - idx // p95 is the k-th largest sample; k in [1,4]
+		var top [4]float64
+		m := 0
+		for _, v := range w.buf[:w.n] {
+			if m < k {
+				i := m
+				for i > 0 && top[i-1] > v {
+					top[i] = top[i-1]
+					i--
+				}
+				top[i] = v
+				m++
+				continue
+			}
+			if v <= top[0] {
+				continue
+			}
+			i := 0
+			for i+1 < k && top[i+1] < v {
+				top[i] = top[i+1]
+				i++
+			}
+			top[i] = v
+		}
+		w.p95v = top[0]
 		w.dirty = false
 	}
 	return w.p95v
@@ -170,6 +194,13 @@ type router struct {
 	// deadline oracle tightens queue admission.
 	gw     *gateway.Gateway
 	reqSeq uint64 // request identity allocator (gateway mode; ids start at 1)
+
+	// mailbox switches sends from scheduling closures on node engines to
+	// posting timestamped mail (the lookahead scheduler's transport). The
+	// delivery timestamp is clamped to the router clock — the same clamp
+	// Schedule applied against the node clock under lockstep, where the two
+	// clocks were equal at every router phase.
+	mailbox bool
 
 	// log records every routing decision when non-nil (determinism tests,
 	// debugging). One line per request: "<seq> <model>-><replica id>" or
@@ -348,10 +379,21 @@ func (r *router) send(m *modelState, h *replicaHandle, arrival, now sim.Time, te
 	}
 	rep := h.rep
 	at := arrival
+	var id uint64
 	if r.gw != nil {
 		r.reqSeq++
-		id := r.reqSeq
+		id = r.reqSeq
 		r.gw.OnPrimarySend(id, m.index, tenant, h.id, arrival, now)
+	}
+	if r.mailbox {
+		deliver := at
+		if deliver < now {
+			deliver = now // queued re-sends deliver now, like Schedule's clamp
+		}
+		h.nodeRef.node.PostSubmit(deliver, at, rep, id)
+		return
+	}
+	if r.gw != nil {
 		h.nodeRef.node.Schedule(at, func() { rep.SubmitID(at, id) })
 		return
 	}

@@ -112,6 +112,9 @@ type Exec struct {
 	lastUpdate sim.Time
 	done       *sim.Event
 	id         uint64
+	// runIdx is this execution's slot in the device's running slice, kept
+	// current by swap-removal so membership updates stay O(1).
+	runIdx int
 	// pressure is this kernel's per-CU compute pressure contribution,
 	// fixed at dispatch; memIntensity its bandwidth demand weight.
 	pressure     float64
@@ -130,8 +133,12 @@ func (x *Exec) Mask() CUMask { return x.mask }
 type Device struct {
 	Spec DeviceSpec
 
-	eng      *sim.Engine
-	running  map[*Exec]struct{}
+	eng *sim.Engine
+	// running holds the in-flight executions as a dense slice (launch
+	// order, perturbed by swap-removal on completion). retime walks it on
+	// every launch and completion, so it must iterate like an array, not a
+	// map — and slice order is deterministic, where map order is not.
+	running []*Exec
 	counters []int // per-CU count of kernels whose mask includes the CU (Resource Monitor)
 	busy     int   // CUs with at least one kernel assigned, maintained incrementally
 	// healthy tracks the CUs still alive; allHealthy short-circuits the
@@ -189,7 +196,6 @@ func NewDevice(eng *sim.Engine, spec DeviceSpec, meter Meter) *Device {
 	return &Device{
 		Spec:       spec,
 		eng:        eng,
-		running:    make(map[*Exec]struct{}),
 		counters:   make([]int, spec.Topo.TotalCUs()),
 		pressure:   make([]float64, spec.Topo.TotalCUs()),
 		healthy:    FullMask(spec.Topo),
@@ -229,7 +235,7 @@ func (d *Device) KillCU(cu int) bool {
 		t.CUKills.Inc()
 		t.HealthyCUs.Set(int64(d.healthy.Count()))
 	}
-	for x := range d.running {
+	for _, x := range d.running {
 		if !x.mask.Has(cu) {
 			continue
 		}
@@ -419,7 +425,8 @@ func (d *Device) Launch(work KernelWork, mask CUMask, onDone func()) *Exec {
 	x.pressure, x.memIntensity = d.pressureOf(work, mask)
 	d.chargeExec(mask, x.pressure)
 	d.memPressure += x.memIntensity
-	d.running[x] = struct{}{}
+	x.runIdx = len(d.running)
+	d.running = append(d.running, x)
 	d.retime()
 	d.observe()
 	return x
@@ -429,7 +436,12 @@ func (d *Device) Launch(work KernelWork, mask CUMask, onDone func()) *Exec {
 // invokes the completion callback.
 func (d *Device) complete(x *Exec) {
 	d.accumulateBusy()
-	delete(d.running, x)
+	last := len(d.running) - 1
+	moved := d.running[last]
+	d.running[x.runIdx] = moved
+	moved.runIdx = x.runIdx
+	d.running[last] = nil
+	d.running = d.running[:last]
 	d.releaseExec(x.mask, x.pressure)
 	d.memPressure -= x.memIntensity
 	if d.memPressure < 0 {
@@ -468,7 +480,7 @@ func (d *Device) observe() {
 // speed and the residue re-timed at the new speed.
 func (d *Device) retime() {
 	now := d.eng.Now()
-	for x := range d.running {
+	for _, x := range d.running {
 		// Bank progress at the previous speed.
 		if x.curTotal > 0 {
 			elapsed := now - x.lastUpdate

@@ -43,7 +43,7 @@ func TestKillCUFallsBackToHealthySetWhenMaskDies(t *testing.T) {
 	if !d.KillCU(0) {
 		t.Fatal("KillCU refused")
 	}
-	for x := range d.running {
+	for _, x := range d.running {
 		if x.mask.Has(0) {
 			t.Error("in-flight exec still masked to the dead CU")
 		}

@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		for round := 0; round < 50; round++ {
+			n := round%7 + 1
+			var hits [8]atomic.Int32
+			p.Run(n, func(i int) { hits[i].Add(1) })
+			for i := 0; i < n; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d round=%d job %d ran %d times", workers, round, i, got)
+				}
+			}
+			for i := n; i < len(hits); i++ {
+				if hits[i].Load() != 0 {
+					t.Fatalf("workers=%d job %d beyond n ran", workers, i)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolSerialOrder(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var order []int
+	p.Run(16, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial pool ran job %d at position %d", got, i)
+		}
+	}
+}
+
+func TestPoolZeroAndNegativeN(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	p.Run(0, func(i int) { t.Error("job ran for n=0") })
+	p.Run(-3, func(i int) { t.Error("job ran for n<0") })
+}
+
+func TestPoolMoreJobsThanWorkers(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var sum atomic.Int64
+	p.Run(1000, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 499500 {
+		t.Fatalf("sum = %d, want 499500", got)
+	}
+}
+
+func TestPoolPanicSurfacesAndPoolSurvives(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		func() {
+			defer func() {
+				v := recover()
+				pe, ok := v.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T (%v), want *PanicError", workers, v, v)
+				}
+				if pe.Value != "boom" {
+					t.Fatalf("workers=%d: panic value = %v", workers, pe.Value)
+				}
+			}()
+			p.Run(8, func(i int) {
+				if i == 3 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: Run returned without re-panicking", workers)
+		}()
+		// The pool must survive a panicked round.
+		var ran atomic.Int32
+		p.Run(4, func(i int) { ran.Add(1) })
+		if ran.Load() != 4 {
+			t.Fatalf("workers=%d: pool dead after panic round", workers)
+		}
+		p.Close()
+	}
+}
+
+func TestPoolRunAfterClosePanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Run after Close did not panic")
+		}
+	}()
+	p.Run(1, func(i int) {})
+}
+
+// BenchmarkPoolRound measures the per-round overhead of a persistent pool
+// against tiny jobs — the shape of a fleet settle round where most nodes
+// are already settled.
+func BenchmarkPoolRound(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(16, func(int) {})
+	}
+}

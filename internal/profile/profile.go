@@ -63,8 +63,11 @@ func New(cfg Config) *Profiler {
 	}
 	total := cfg.Spec.Topo.TotalCUs()
 	p.maskCache = make([]gpu.CUMask, total+1)
+	// One reusable allocator for the whole sweep: GenerateMask would build
+	// (and throw away) an Allocator's scratch slices per partition size.
+	a := alloc.NewAllocator(cfg.Spec.Topo)
 	for n := 1; n <= total; n++ {
-		p.maskCache[n] = alloc.GenerateMask(cfg.Spec.Topo, nil, alloc.Request{
+		p.maskCache[n] = a.Generate(nil, alloc.Request{
 			NumCUs:       n,
 			OverlapLimit: alloc.NoOverlapLimit,
 		})
@@ -172,15 +175,31 @@ type Entry struct {
 	InputBytes   float64 `json:"input_bytes"`
 }
 
+// variant is the struct form of Entry.Key / kernels.Desc.Key — comparable,
+// so the launch-path lookup never formats a key string.
+type variant struct {
+	name         string
+	workgroups   int
+	threadsPerWG int
+}
+
 // DB is the Required CUs table: kernel variant -> profiled minCU. In the
 // paper this lives in CPU-side memory next to the accelerated library's
 // perf DB and is consulted by the runtime on each kernel launch.
+//
+// entries keys on the string form (the JSON/serialization identity);
+// minCUs mirrors it keyed on the struct form so MinCU — called once per
+// kernel launch on the dispatch hot path — costs one map probe and zero
+// allocations instead of an fmt.Sprintf.
 type DB struct {
 	entries map[string]Entry
+	minCUs  map[variant]int
 }
 
 // NewDB returns an empty database.
-func NewDB() *DB { return &DB{entries: make(map[string]Entry)} }
+func NewDB() *DB {
+	return &DB{entries: make(map[string]Entry), minCUs: make(map[variant]int)}
+}
 
 // Len returns the number of kernel variants profiled.
 func (db *DB) Len() int { return len(db.entries) }
@@ -195,8 +214,9 @@ func (db *DB) Lookup(key string) (Entry, bool) {
 // if the kernel was never profiled — the conservative fallback the paper's
 // runtime applies to unknown kernels.
 func (db *DB) MinCU(d kernels.Desc, totalCUs int) int {
-	if e, ok := db.entries[d.Key()]; ok {
-		return e.MinCU
+	v := variant{name: d.Name, workgroups: d.Work.Workgroups, threadsPerWG: d.Work.ThreadsPerWG}
+	if cu, ok := db.minCUs[v]; ok {
+		return cu
 	}
 	return totalCUs
 }
@@ -218,6 +238,7 @@ func (db *DB) Add(e Entry) {
 		return
 	}
 	db.entries[e.Key] = e
+	db.minCUs[variant{name: e.Name, workgroups: e.Workgroups, threadsPerWG: e.ThreadsPerWG}] = e.MinCU
 }
 
 // Profile profiles every kernel and records it in the database. It is the

@@ -59,6 +59,48 @@ type Node struct {
 	gpus     []gpuStack
 	inj      *faults.Injector
 	replicas []*Replica
+
+	// mail is the node's cross-node command inbox for lookahead
+	// scheduling: the cluster's router phase posts timestamped request
+	// deliveries here instead of scheduling closures, and AdvanceTo
+	// ingests them before advancing the clock. mailSeq stamps posting
+	// order so simultaneous commands replay in exactly the order a
+	// lockstep router would have scheduled them; mailIdx is the pump's
+	// progress cursor through the sorted batch.
+	mail    []mail
+	mailSeq uint64
+	mailIdx int
+	pumpFn  func() // pre-bound pump callback, one per node, zero-alloc
+
+	// descs caches built kernel sequences per (model, batch). Replicas
+	// come and go with autoscaler churn, but the sequences they run are
+	// pure functions of the model recipe — rebuilt lists were the largest
+	// steady-state allocation source in fleet runs. Shared lists are
+	// read-only: replicas jitter-copy into their own scratch before
+	// mutating durations.
+	descs map[descKey][]kernels.Desc
+}
+
+// descKey identifies one cached kernel sequence.
+type descKey struct {
+	model string
+	batch int
+}
+
+// modelKernels returns the node's cached kernel sequence for a model and
+// batch size, building it on first use. The returned slice is shared and
+// must not be mutated.
+func (n *Node) modelKernels(m models.Model, batch int) []kernels.Desc {
+	k := descKey{model: m.Name, batch: batch}
+	if ks, ok := n.descs[k]; ok {
+		return ks
+	}
+	if n.descs == nil {
+		n.descs = make(map[descKey][]kernels.Desc)
+	}
+	ks := m.Kernels(batch)
+	n.descs[k] = ks
+	return ks
 }
 
 type gpuStack struct {
@@ -141,6 +183,98 @@ func (n *Node) Schedule(t sim.Time, fn func()) {
 		t = n.eng.Now()
 	}
 	n.eng.At(t, fn)
+}
+
+// mail is one posted cross-node command: a request copy delivered to a
+// replica at virtual time deliver, stamped with its original arrival.
+// deliver and arrival differ when the router re-sends a request that
+// queued router-side: delivery is clamped to the router clock, but the
+// request's latency still counts from its true arrival — the same split
+// lockstep got from Schedule's clamp around an unclamped SubmitID.
+type mail struct {
+	deliver sim.Time
+	arrival sim.Time
+	seq     uint64 // posting order; tie-break among equal delivery times
+	rep     *Replica
+	id      uint64
+}
+
+// PostSubmit queues one request delivery for the replica, to be ingested
+// by the next AdvanceTo. The caller (the cluster's router phase) must post
+// with deliver no earlier than the node's last granted horizon —
+// lockstep's Schedule clamped past arrivals to the node clock, so
+// lookahead callers clamp to the router's own clock before posting. id 0
+// means an untracked request (Submit); nonzero a tracked copy (SubmitID).
+func (n *Node) PostSubmit(deliver, arrival sim.Time, r *Replica, id uint64) {
+	n.mailSeq++
+	n.mail = append(n.mail, mail{deliver: deliver, arrival: arrival, seq: n.mailSeq, rep: r, id: id})
+}
+
+// MailboxLen returns the number of posted, not-yet-ingested commands. A
+// node with pending mail can never be skipped by a lookahead grant.
+func (n *Node) MailboxLen() int { return len(n.mail) }
+
+// NextEventTime exposes the engine's earliest pending event — the lower
+// bound the lookahead scheduler combines with MailboxLen to prove the node
+// cannot act before a horizon.
+func (n *Node) NextEventTime() (sim.Time, bool) { return n.eng.NextEventTime() }
+
+// pump applies every mailbox command whose timestamp has arrived. It runs
+// as an engine event (one firing per distinct command timestamp), so the
+// deliveries interleave with the node's own events exactly where a
+// lockstep router's per-command closures would have.
+func (n *Node) pump() {
+	now := n.eng.Now()
+	for n.mailIdx < len(n.mail) && n.mail[n.mailIdx].deliver <= now {
+		m := n.mail[n.mailIdx]
+		n.mailIdx++
+		m.rep.SubmitID(m.arrival, m.id)
+	}
+}
+
+// AdvanceTo ingests the mailbox and advances the node's clock to t, firing
+// every event with timestamp <= t. Commands are replayed in (time, posting
+// order) — byte-identical to a lockstep router scheduling each command as
+// its own closure, because the pump events are created before any
+// event the advancement itself schedules and therefore rank first among
+// ties, exactly like the router-phase closures did. Every posted command
+// must have deliver <= t; AdvanceTo panics if mail would be left
+// undelivered, because a partially drained mailbox cannot be re-sorted
+// safely.
+func (n *Node) AdvanceTo(t sim.Time) {
+	if len(n.mail) > 0 {
+		// Insertion sort by (deliver, seq): postings arrive almost sorted
+		// (the router walks arrivals in time order), so this is near-linear
+		// and allocation-free.
+		for i := 1; i < len(n.mail); i++ {
+			m := n.mail[i]
+			j := i - 1
+			for j >= 0 && (n.mail[j].deliver > m.deliver || (n.mail[j].deliver == m.deliver && n.mail[j].seq > m.seq)) {
+				n.mail[j+1] = n.mail[j]
+				j--
+			}
+			n.mail[j+1] = m
+		}
+		if n.pumpFn == nil {
+			n.pumpFn = n.pump
+		}
+		last := sim.Time(-1)
+		for _, m := range n.mail {
+			if m.deliver != last {
+				n.eng.At(m.deliver, n.pumpFn)
+				last = m.deliver
+			}
+		}
+	}
+	n.eng.RunUntil(t)
+	if n.mailIdx != len(n.mail) {
+		panic("server: AdvanceTo horizon left mailbox commands undelivered")
+	}
+	for i := range n.mail {
+		n.mail[i].rep = nil
+	}
+	n.mail = n.mail[:0]
+	n.mailIdx = 0
 }
 
 // NumGPUs returns the node's device count.
@@ -233,7 +367,11 @@ type Replica struct {
 	completions []Completion
 	stats       ReplicaStats
 
-	baseDescs []kernels.Desc
+	// descCache[n] is the model's kernel sequence for an n-request batch,
+	// built on first use. Kernel geometry depends only on the batch size,
+	// so partial batches (the tail of a drained queue, a trickle workload)
+	// hit the cache too instead of rebuilding the sequence every batch.
+	descCache [][]kernels.Desc
 	descBuf   []kernels.Desc
 }
 
@@ -428,18 +566,17 @@ func (r *Replica) maybeStart() {
 }
 
 // batchKernels builds the model's kernel sequence for an n-request batch
-// with per-instance duration noise, reusing the replica's buffers. The
-// full-batch sequence is cached (the common steady-state case); partial
-// batches rebuild it.
+// with per-instance duration noise, reusing the replica's buffers. Every
+// batch size is cached on first use (geometry is a pure function of n);
+// the lists live on the node so autoscaler-respawned replicas share them.
 func (r *Replica) batchKernels(n int) []kernels.Desc {
-	var base []kernels.Desc
-	if n == r.spec.Batch {
-		if r.baseDescs == nil {
-			r.baseDescs = r.spec.Model.Kernels(r.spec.Batch)
-		}
-		base = r.baseDescs
-	} else {
-		base = r.spec.Model.Kernels(n)
+	if r.descCache == nil {
+		r.descCache = make([][]kernels.Desc, r.spec.Batch+1)
+	}
+	base := r.descCache[n]
+	if base == nil {
+		base = r.node.modelKernels(r.spec.Model, n)
+		r.descCache[n] = base
 	}
 	if r.node.cfg.Jitter == 0 {
 		return base

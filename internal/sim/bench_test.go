@@ -53,6 +53,30 @@ func BenchmarkCancelReschedule(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkHorizonProbe measures the lookahead scheduler's inner loop: a
+// NextEventTime probe followed by a bounded RunUntil on a warm engine —
+// the per-node cost of proving "this node cannot act before the horizon".
+// Must stay 0 allocs/op like the rest of the engine hot path.
+func BenchmarkHorizonProbe(b *testing.B) {
+	e := New()
+	var rearm func()
+	period := Duration(7)
+	rearm = func() { e.After(period, rearm) }
+	for i := 0; i < 64; i++ {
+		e.After(Duration(i+1), rearm)
+	}
+	e.RunFor(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at, ok := e.NextEventTime()
+		if !ok {
+			b.Fatal("warm engine drained")
+		}
+		e.RunUntil(at + 3)
+	}
+}
+
 // BenchmarkChurn is timer-wheel-style steady-state churn: a fixed
 // population of self-rearming timers (watchdogs, queue pumps) plus a
 // rotating set of timers that are canceled and replaced before firing —

@@ -357,6 +357,63 @@ func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
 	}
 }
 
+func TestNextEventTime(t *testing.T) {
+	e := New()
+	if _, ok := e.NextEventTime(); ok {
+		t.Error("NextEventTime on empty engine reported an event")
+	}
+	a := e.After(30, func() {})
+	e.After(10, func() {})
+	if at, ok := e.NextEventTime(); !ok || at != 10 {
+		t.Errorf("NextEventTime = %v,%v, want 10,true", at, ok)
+	}
+	// NextEventTime must see through lazily-canceled entries at the top.
+	b := e.After(5, func() {})
+	e.Cancel(b)
+	if at, ok := e.NextEventTime(); !ok || at != 10 {
+		t.Errorf("NextEventTime after lazy cancel = %v,%v, want 10,true", at, ok)
+	}
+	e.RunUntil(10)
+	if at, ok := e.NextEventTime(); !ok || at != 30 {
+		t.Errorf("NextEventTime after RunUntil(10) = %v,%v, want 30,true", at, ok)
+	}
+	e.Cancel(a)
+	if _, ok := e.NextEventTime(); ok {
+		t.Error("NextEventTime after canceling the last event reported an event")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestNextEventTimeDoesNotAllocate(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 512; i++ {
+		e.After(Duration(i%97+1), fn)
+	}
+	e.Run()
+	// A far-future sentinel keeps the engine non-empty so every probe has
+	// an answer; the runs below drain only the near-term events.
+	e.At(1e12, fn)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 128; i++ {
+			ev := e.After(Duration(i%97+1), fn)
+			if i%4 == 1 {
+				e.Cancel(ev)
+			}
+			if _, ok := e.NextEventTime(); !ok {
+				t.Fatal("warm engine reported no next event")
+			}
+			e.RunUntil(e.Now() + 13)
+		}
+		e.RunUntil(e.Now() + 200)
+	})
+	if allocs > 0 {
+		t.Errorf("NextEventTime/RunUntil horizon loop allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 // TestEngineMatchesReferenceModel drives random schedule/cancel/reschedule
 // operation sequences through the engine and checks the fire order against
 // a naive reference: stable sort by (time, original scheduling order).

@@ -1,45 +1,80 @@
 #!/usr/bin/env sh
-# scripts/bench.sh — regenerate BENCH_PR6.json, the performance record for
-# the resilient-gateway PR: fleet simulation throughput with the gateway
-# off (the PR5 baseline) vs on, the per-request gateway admission cost
-# (which must stay at 0 allocs/op), per-request routing-decision costs for
-# every policy, and the dispatch-path microbenchmarks carried forward.
+# scripts/bench.sh — regenerate BENCH_PR7.json, the performance record for
+# the conservative-lookahead fleet scheduler PR: the fleet-scaling sweep
+# (4/16/64 nodes under the serial lockstep baseline, the parallel lockstep
+# barrier, and the lookahead scheduler), the tracked 3-node fleet
+# throughput benchmarks, and the dispatch-path microbenchmarks carried
+# forward. Two hard guards: gateway admission must stay at 0 allocs/op and
+# server.ServeOneBatchKRISP must stay at or under 500 allocs/op (it was
+# 3833 before this PR); either regression fails the script.
 #
-# Runs the dispatch-path microbenchmarks (alloc mask generation, hsa
-# steady-state dispatch bare and with telemetry attached, gpu launch
-# cycle, server serving loop, telemetry counter/gauge/histogram writes),
-# the cluster fleet benchmarks (full 3x2-GPU fleet runs and router pick
-# costs; benchstat-compatible output in /tmp/krisp_bench_dispatch.txt and
-# /tmp/krisp_bench_cluster.txt), and times the table4/fig15 grids, then
-# writes the numbers to BENCH_PR5.json at the repo root.
+# The scaling sweep runs -count times and keeps the best (minimum ns/op)
+# of each benchmark — on a shared 1-CPU container, run-to-run noise is
+# ±20-30% and the minimum is the closest observable to the noise-free
+# time. Baseline constants below were measured the same way (best of 3 at
+# -benchtime 20x) on this PR's parent commit with identical configs.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 1s per benchmark)
+# Usage: scripts/bench.sh [benchtime] [scale_benchtime] [scale_count]
+#        (defaults: 1s, 20x, 3)
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-1s}"
+scale_benchtime="${2:-20x}"
+scale_count="${3:-3}"
 benchtxt=/tmp/krisp_bench_dispatch.txt
 clustertxt=/tmp/krisp_bench_cluster.txt
 gatewaytxt=/tmp/krisp_bench_gateway.txt
-out=BENCH_PR6.json
+scaletxt=/tmp/krisp_bench_scaling.txt
+
+out=BENCH_PR7.json
 
 echo "== dispatch-path microbenchmarks (benchtime=$benchtime) =="
 go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" \
-    ./internal/alloc ./internal/hsa ./internal/gpu ./internal/server ./internal/telemetry | tee "$benchtxt"
+    ./internal/alloc ./internal/hsa ./internal/gpu ./internal/server ./internal/sim ./internal/telemetry | tee "$benchtxt"
 
 echo "== cluster fleet benchmarks (benchtime=$benchtime) =="
-go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" \
-    ./internal/cluster | tee "$clustertxt"
+go test -run '^$' -bench 'FleetThroughput|FleetRoutingDecision' -benchmem \
+    -benchtime "$benchtime" ./internal/cluster | tee "$clustertxt"
+
+echo "== fleet scaling sweep (benchtime=$scale_benchtime, count=$scale_count, best-of) =="
+go test -run '^$' -bench 'FleetScaling' -benchmem \
+    -benchtime "$scale_benchtime" -count "$scale_count" \
+    ./internal/cluster | tee "$scaletxt"
 
 echo "== gateway benchmarks (benchtime=$benchtime) =="
 go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" \
     ./internal/cluster/gateway | tee "$gatewaytxt"
 
-gateway_field() { # $1 = benchmark name (after Benchmark), $2 = unit column
-    awk -v name="Benchmark$1" -v unit="$2" '
+# Pull "name value unit" fields out of benchstat-style output.
+field() { # $1 = file, $2 = benchmark name (after Benchmark), $3 = unit
+    awk -v name="Benchmark$2" -v unit="$3" '
         $1 ~ "^"name"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == unit) { print $i; exit } }
-    ' "$gatewaytxt"
+    ' "$1"
 }
+
+# Best (minimum) value of a repeated benchmark for a unit where lower is
+# better; best_max for requests/s where higher is better.
+best_min() { # $1 = file, $2 = benchmark name, $3 = unit
+    awk -v name="Benchmark$2" -v unit="$3" '
+        $1 ~ "^"name"(-[0-9]+)?$" {
+            for (i = 2; i < NF; i++) if ($(i+1) == unit && (!seen || $i+0 < best)) { best = $i+0; seen = 1 }
+        }
+        END { if (seen) print best }
+    ' "$1"
+}
+best_max() { # $1 = file, $2 = benchmark name, $3 = unit
+    awk -v name="Benchmark$2" -v unit="$3" '
+        $1 ~ "^"name"(-[0-9]+)?$" {
+            for (i = 2; i < NF; i++) if ($(i+1) == unit && (!seen || $i+0 > best)) { best = $i+0; seen = 1 }
+        }
+        END { if (seen) print best }
+    ' "$1"
+}
+
+gateway_field() { field "$gatewaytxt" "$1" "$2"; }
+cluster_field() { field "$clustertxt" "$1" "$2"; }
+bench_field()   { field "$benchtxt"   "$1" "$2"; }
 
 admission_allocs=$(gateway_field GatewayAdmission allocs/op)
 if [ "$admission_allocs" != "0" ]; then
@@ -47,66 +82,75 @@ if [ "$admission_allocs" != "0" ]; then
     exit 1
 fi
 
-cluster_field() { # $1 = benchmark name (after Benchmark), $2 = unit column
-    awk -v name="Benchmark$1" -v unit="$2" '
-        $1 ~ "^"name"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == unit) { print $i; exit } }
-    ' "$clustertxt"
+serve_allocs=$(bench_field ServeOneBatchKRISP allocs/op)
+if [ "$serve_allocs" -gt 500 ]; then
+    echo "FAIL: server.ServeOneBatchKRISP allocates ($serve_allocs allocs/op, want <= 500)" >&2
+    exit 1
+fi
+
+# Pre-PR baselines, measured on this branch's parent commit (the PR6 tree)
+# via a twin of BenchmarkFleetScaling's serial mode with identical
+# configs/seed: best of 3 runs at -benchtime 20x on the same host. These
+# are what "speedup" below is computed against — the lockstep-serial
+# ceiling this PR set out to break.
+pr6_scaling_serial_ns_4=7720170
+pr6_scaling_serial_ns_16=24860062
+pr6_scaling_serial_ns_64=105325497
+pr6_fleet_serial_ns=26900000
+pr6_serve_allocs=3833
+
+scale_entry() { # $1 = nodes, $2 = mode
+    printf '{"time": %s, "throughput": %s}' \
+        "$(best_min "$scaletxt" "FleetScaling/nodes=$1/$2" ns/op)" \
+        "$(best_max "$scaletxt" "FleetScaling/nodes=$1/$2" requests/s)"
 }
 
-# Pull "name ns/op allocs/op" pairs out of the benchmark output.
-bench_field() { # $1 = benchmark name, $2 = column header suffix (ns/op | allocs/op)
-    awk -v name="Benchmark$1" -v unit="$2" '
-        $1 ~ "^"name"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == unit) { print $i; exit } }
-    ' "$benchtxt"
+speedup() { # $1 = baseline ns, $2 = nodes (lookahead best vs pre-PR serial)
+    now=$(best_min "$scaletxt" "FleetScaling/nodes=$2/lookahead" ns/op)
+    awk -v b="$1" -v n="$now" 'BEGIN { printf "%.2f", b / n }'
 }
-
-go build -o /tmp/krisp-bench-measure ./cmd/krisp-bench
-
-grid_ms() { # $1 = experiment id, $2 = parallel workers
-    s=$(date +%s%N)
-    /tmp/krisp-bench-measure -exp "$1" -quick -parallel "$2" > /dev/null
-    t=$(date +%s%N)
-    echo $(( (t - s) / 1000000 ))
-}
-
-echo "== table4 -quick grid, serial =="
-serial_ms=$(grid_ms table4 1)
-echo "${serial_ms} ms"
-workers=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)
-# Exercise the fan-out path even on small hosts.
-[ "$workers" -lt 4 ] && workers=4
-echo "== table4 -quick grid, parallel ($workers workers) =="
-par_ms=$(grid_ms table4 "$workers")
-echo "${par_ms} ms"
-echo "== fig15 -quick grid, parallel ($workers workers) =="
-fig15_ms=$(grid_ms fig15 "$workers")
-echo "${fig15_ms} ms"
-
-# PR 3-era baselines (this branch's parent, same benchmarks, see
-# BENCH_PR3.json and DESIGN.md §8). Kept as constants so the JSON shows
-# the trajectory without needing a checkout of the old tree. The contract
-# this PR adds: hsa.DispatchWithTelemetry must stay at 0 allocs/op with
-# live counters, gauges, and histograms attached.
-pr3_dispatch_ns=418.5; pr3_dispatch_allocs=0
-pr3_launch_ns=541.8;   pr3_launch_allocs=0
-pr3_serve_ns=987935;   pr3_serve_allocs=3832
-pr3_table4_serial_ms=1648
 
 cat > "$out" <<EOF
 {
-  "pr": 6,
-  "title": "Resilient multi-tenant gateway: hedging, retry budgets, circuit breakers, and fleet-scale chaos",
-  "host_note": "measured on a shared container; treat numbers as indicative. The gateway contract: with every mechanism disabled it is byte-identical to gateway-off, and admission stays 0 allocs/op with rate limiting, classes, and deadline checks active.",
-  "gateway": {
-    "unit": {"time": "ns/op", "allocs": "allocs/op", "throughput": "routed requests per wall-second"},
-    "FleetThroughputGatewayOff": {"time": $(cluster_field FleetThroughputSerial ns/op),  "throughput": $(cluster_field FleetThroughputSerial requests/s)},
-    "FleetThroughputGatewayOn":  {"time": $(cluster_field FleetThroughputGateway ns/op), "throughput": $(cluster_field FleetThroughputGateway requests/s)},
-    "gateway.Admission": {"time": $(gateway_field GatewayAdmission ns/op), "allocs": $admission_allocs}
+  "pr": 7,
+  "title": "Conservative-lookahead parallel fleet simulation: break the lockstep-tick ceiling",
+  "host_note": "measured on a shared 1-CPU container (nproc=1): parallel workers cannot add wall-clock speedup here, so lockstep-parallel and lookahead-parallel run their advance phases serially. The speedups below come from what the scheduler avoids doing — settled nodes (no mail, no events inside the horizon) are skipped entirely instead of being advanced every tick — plus the profiling-sweep sharing, kernel-desc caching, device run-list, and router-p95 work in this PR. scaling.speedup_vs_pr6_serial compares this tree's lookahead mode against the parent commit's serial scheduler (identical workload, seed, and best-of-3 methodology); on a multi-core host the lookahead worker pool adds on top. Run-to-run noise on this host is +/-20-30%, hence best-of-N.",
+  "scaling": {
+    "unit": {"time": "ns/op (one 300ms virtual fleet run, best of $scale_count)", "throughput": "routed requests per wall-second (best of $scale_count)"},
+    "workload": "squeezenet batch 8, constant 400 req/s per node, 2 GPUs per node, seed 7",
+    "nodes=4": {
+      "serial":    $(scale_entry 4 serial),
+      "lockstep":  $(scale_entry 4 lockstep),
+      "lookahead": $(scale_entry 4 lookahead)
+    },
+    "nodes=16": {
+      "serial":    $(scale_entry 16 serial),
+      "lockstep":  $(scale_entry 16 lockstep),
+      "lookahead": $(scale_entry 16 lookahead)
+    },
+    "nodes=64": {
+      "serial":    $(scale_entry 64 serial),
+      "lockstep":  $(scale_entry 64 lockstep),
+      "lookahead": $(scale_entry 64 lookahead)
+    },
+    "pr6_serial_baseline": {
+      "nodes=4":  {"time": $pr6_scaling_serial_ns_4},
+      "nodes=16": {"time": $pr6_scaling_serial_ns_16},
+      "nodes=64": {"time": $pr6_scaling_serial_ns_64}
+    },
+    "speedup_vs_pr6_serial": {
+      "nodes=4":  $(speedup $pr6_scaling_serial_ns_4 4),
+      "nodes=16": $(speedup $pr6_scaling_serial_ns_16 16),
+      "nodes=64": $(speedup $pr6_scaling_serial_ns_64 64)
+    }
   },
   "fleet": {
     "unit": {"time": "ns/op (one 300ms virtual fleet run)", "throughput": "routed requests per wall-second"},
+    "pr6_serial": {"time": $pr6_fleet_serial_ns},
     "FleetThroughputSerial":   {"time": $(cluster_field FleetThroughputSerial ns/op),   "throughput": $(cluster_field FleetThroughputSerial requests/s)},
+    "FleetThroughputLockstep": {"time": $(cluster_field FleetThroughputLockstep ns/op), "throughput": $(cluster_field FleetThroughputLockstep requests/s)},
     "FleetThroughputParallel": {"time": $(cluster_field FleetThroughputParallel ns/op), "throughput": $(cluster_field FleetThroughputParallel requests/s)},
+    "FleetThroughputGateway":  {"time": $(cluster_field FleetThroughputGateway ns/op),  "throughput": $(cluster_field FleetThroughputGateway requests/s)},
     "routing_decision_ns": {
       "round-robin":       $(cluster_field 'FleetRoutingDecision/round-robin' ns/op),
       "least-outstanding": $(cluster_field 'FleetRoutingDecision/least-outstanding' ns/op),
@@ -114,34 +158,19 @@ cat > "$out" <<EOF
       "slo-aware":         $(cluster_field 'FleetRoutingDecision/slo-aware' ns/op)
     }
   },
+  "guards": {
+    "gateway.Admission": {"time": $(gateway_field GatewayAdmission ns/op), "allocs": $admission_allocs, "limit": 0},
+    "server.ServeOneBatchKRISP": {"time": $(bench_field ServeOneBatchKRISP ns/op), "allocs": $serve_allocs, "limit": 500, "pr6_allocs": $pr6_serve_allocs}
+  },
   "microbenchmarks": {
     "unit": {"time": "ns/op", "allocs": "allocs/op"},
-    "pr3": {
-      "hsa.Dispatch":              {"time": $pr3_dispatch_ns, "allocs": $pr3_dispatch_allocs},
-      "gpu.LaunchCompleteCycle":   {"time": $pr3_launch_ns,   "allocs": $pr3_launch_allocs},
-      "server.ServeOneBatchKRISP": {"time": $pr3_serve_ns,    "allocs": $pr3_serve_allocs}
-    },
-    "now": {
-      "alloc.GenerateMask":          {"time": $(bench_field GenerateMask ns/op),          "allocs": $(bench_field GenerateMask allocs/op)},
-      "alloc.MaskCacheIdleHit":      {"time": $(bench_field MaskCacheIdleHit ns/op),      "allocs": $(bench_field MaskCacheIdleHit allocs/op)},
-      "alloc.MaskCacheBusyHit":      {"time": $(bench_field MaskCacheBusyHit ns/op),      "allocs": $(bench_field MaskCacheBusyHit allocs/op)},
-      "hsa.Dispatch":                {"time": $(bench_field Dispatch ns/op),              "allocs": $(bench_field Dispatch allocs/op)},
-      "hsa.DispatchWithTelemetry":   {"time": $(bench_field DispatchWithTelemetry ns/op), "allocs": $(bench_field DispatchWithTelemetry allocs/op)},
-      "hsa.DispatchPassthrough":     {"time": $(bench_field DispatchPassthrough ns/op),   "allocs": $(bench_field DispatchPassthrough allocs/op)},
-      "gpu.LaunchCompleteCycle":     {"time": $(bench_field LaunchCompleteCycle ns/op),   "allocs": $(bench_field LaunchCompleteCycle allocs/op)},
-      "server.ServeOneBatchKRISP":   {"time": $(bench_field ServeOneBatchKRISP ns/op),    "allocs": $(bench_field ServeOneBatchKRISP allocs/op)},
-      "telemetry.CounterInc":        {"time": $(bench_field CounterInc ns/op),            "allocs": $(bench_field CounterInc allocs/op)},
-      "telemetry.GaugeSet":          {"time": $(bench_field GaugeSet ns/op),              "allocs": $(bench_field GaugeSet allocs/op)},
-      "telemetry.HistogramObserve":  {"time": $(bench_field HistogramObserve ns/op),      "allocs": $(bench_field HistogramObserve allocs/op)}
-    }
-  },
-  "grid": {
-    "experiment": "table4 -quick",
-    "pr3_serial_ms": $pr3_table4_serial_ms,
-    "serial_ms": $serial_ms,
-    "parallel_ms": $par_ms,
-    "parallel_workers": $workers,
-    "fig15_parallel_ms": $fig15_ms
+    "alloc.GenerateMask":          {"time": $(bench_field GenerateMask ns/op),          "allocs": $(bench_field GenerateMask allocs/op)},
+    "alloc.MaskCacheIdleHit":      {"time": $(bench_field MaskCacheIdleHit ns/op),      "allocs": $(bench_field MaskCacheIdleHit allocs/op)},
+    "hsa.Dispatch":                {"time": $(bench_field Dispatch ns/op),              "allocs": $(bench_field Dispatch allocs/op)},
+    "hsa.DispatchWithTelemetry":   {"time": $(bench_field DispatchWithTelemetry ns/op), "allocs": $(bench_field DispatchWithTelemetry allocs/op)},
+    "gpu.LaunchCompleteCycle":     {"time": $(bench_field LaunchCompleteCycle ns/op),   "allocs": $(bench_field LaunchCompleteCycle allocs/op)},
+    "sim.HorizonProbe":            {"time": $(bench_field HorizonProbe ns/op),          "allocs": $(bench_field HorizonProbe allocs/op)},
+    "server.ServeOneBatchKRISP":   {"time": $(bench_field ServeOneBatchKRISP ns/op),    "allocs": $serve_allocs}
   }
 }
 EOF
