@@ -116,10 +116,11 @@ func scalingConfig(b *testing.B, nodes int) Config {
 	}
 }
 
-// BenchmarkFleetScaling is the PR7 sweep: fleet sizes 4/16/64 under the
-// serial lockstep baseline, the parallel lockstep barrier, and the
-// conservative-lookahead scheduler. All three produce identical results
-// (see TestLookaheadLockstepMatrixIdentical); only wall time differs.
+// BenchmarkFleetScaling is the scheduler sweep: fleet sizes 4/16/64 under
+// the serial lockstep baseline, the parallel lockstep barrier, the
+// conservative-lookahead scheduler, and the event-horizon scheduler (the
+// default). All four produce identical results (see
+// TestLookaheadLockstepMatrixIdentical); only wall time differs.
 func BenchmarkFleetScaling(b *testing.B) {
 	modes := []struct {
 		name  string
@@ -129,6 +130,7 @@ func BenchmarkFleetScaling(b *testing.B) {
 		{"serial", SchedLockstep, 1},
 		{"lockstep", SchedLockstep, 0},
 		{"lookahead", SchedLookahead, 0},
+		{"event-horizon", SchedEventHorizon, 0},
 	}
 	for _, nodes := range []int{4, 16, 64} {
 		for _, mode := range modes {

@@ -191,6 +191,14 @@ type fleetNode struct {
 	up        bool
 	downUntil sim.Time // <0: down for good
 	handles   []*replicaHandle
+
+	// Event-horizon scheduler state: the node's position and key in the
+	// fleet's wake heap (heapIdx -1 when out — down, or mid-advancement),
+	// and the heap itself so mail posts can lower the key in place. hz is
+	// nil under the other schedulers.
+	wake    sim.Time
+	heapIdx int
+	hz      *wakeHeap
 }
 
 // Fleet is a configured cluster experiment. Build with New, execute with
@@ -225,11 +233,18 @@ type Fleet struct {
 
 	// now is the router-phase clock (the current tick's start), the lower
 	// bound lookahead sends clamp their delivery timestamps to; pool and
-	// activeBuf are the lookahead scheduler's persistent workers and
-	// per-tick active-node scratch.
+	// activeBuf are the lookahead/event-horizon schedulers' persistent
+	// workers and per-tick active-node scratch.
 	now       sim.Time
 	pool      *parallel.Pool
 	activeBuf []*fleetNode
+	mergeIdx  []int // k-way arrival-merge cursors, reused across ticks
+
+	// hz and dirty belong to the event-horizon scheduler: the wake heap
+	// over up nodes, and whether any node advanced since the last
+	// completion pull (the condition that forces a full router phase).
+	hz    *wakeHeap
+	dirty bool
 }
 
 // complPair is one pulled completion with its handle, buffered so gateway
@@ -415,17 +430,40 @@ func New(cfg Config) *Fleet {
 
 // Run executes the fleet experiment and returns its result.
 func (f *Fleet) Run() *Result {
-	lookahead := f.cfg.Sched == SchedLookahead
-	if lookahead {
+	eventDriven := f.cfg.Sched == SchedEventHorizon
+	mailboxed := eventDriven || f.cfg.Sched == SchedLookahead
+	if mailboxed {
 		f.router.mailbox = true
 		f.pool = f.newAdvancePool()
 		defer f.pool.Close()
+	}
+	if eventDriven {
+		f.hz = &wakeHeap{}
+		for _, n := range f.nodes {
+			n.hz = f.hz
+			f.hz.push(n, nodeWake(n))
+		}
 	}
 	ticks := int(f.cfg.Duration / f.cfg.Tick)
 	for tick := 0; tick < ticks; tick++ {
 		now := sim.Time(tick) * f.cfg.Tick
 		f.now = now
+		if eventDriven && f.canSkipPhases(now) {
+			// The whole router phase is provably a no-op; only the tick's
+			// arrival draws (mandatory for RNG parity) and any due node
+			// advancement remain. Arrivals, if any, route through the same
+			// merge as the full phase — the queues are empty, so skipping
+			// drainQueue changes nothing.
+			if f.genArrivals(now, now+f.cfg.Tick) {
+				f.mergeRoute(now)
+			}
+			if f.settleEvent(now + f.cfg.Tick) {
+				f.dirty = true
+			}
+			continue
+		}
 		f.pullCompletions(now)
+		f.dirty = false
 		f.applyFaults(now)
 		if f.gw != nil {
 			f.gw.BeginTick(now)
@@ -439,15 +477,20 @@ func (f *Fleet) Run() *Result {
 			f.gw.HedgeScan(now)
 		}
 		f.observe()
-		if lookahead {
+		switch {
+		case eventDriven:
+			if f.settleEvent(now + f.cfg.Tick) {
+				f.dirty = true
+			}
+		case mailboxed:
 			f.settle(now + f.cfg.Tick)
-		} else {
+		default:
 			f.advance(now + f.cfg.Tick)
 		}
 	}
 	f.now = f.cfg.Duration
 	f.pullCompletions(f.cfg.Duration)
-	if lookahead {
+	if mailboxed {
 		// Settled nodes may have been skipped for many ticks; their frozen
 		// state is already final, but the energy integration reads each
 		// node's clock, so fast-forward the stragglers to the end of the
@@ -489,6 +532,7 @@ func (f *Fleet) spawnReplica(t target, readyAt sim.Time) {
 	f.handles = append(f.handles, h)
 	n.handles = append(n.handles, h)
 	m.replicas = append(m.replicas, h)
+	f.router.invalidate()
 	if f.gw != nil {
 		f.handleByID[h.id] = h
 		h.breaker = f.gw.AddReplica(h.id)
@@ -500,6 +544,7 @@ func (f *Fleet) spawnReplica(t target, readyAt sim.Time) {
 func (f *Fleet) drainReplica(h *replicaHandle) {
 	h.draining = true
 	h.rep.Drain()
+	f.router.invalidate()
 }
 
 func (f *Fleet) modelByName(name string) *modelState {
@@ -566,8 +611,12 @@ func (f *Fleet) applyFaults(now sim.Time) {
 		} else {
 			n.downUntil = -1
 		}
+		if f.hz != nil {
+			f.hz.remove(n)
+		}
 		// Mark every handle dead before running the gateway's loss pass, so
 		// retries cannot land on a sibling replica of the same dying node.
+		f.router.invalidate()
 		f.killedBuf = f.killedBuf[:0]
 		for _, h := range n.handles {
 			if h.dead {
@@ -601,6 +650,9 @@ func (f *Fleet) applyFaults(now sim.Time) {
 			n.up = true
 			n.downUntil = 0
 			n.node.RunUntil(now) // fast-forward the frozen clock, empty
+			if f.hz != nil {
+				f.hz.push(n, nodeWake(n))
+			}
 			f.tel.gNodesUp().Add(1)
 		}
 	}
@@ -624,6 +676,11 @@ func (f *Fleet) reap() {
 			if f.gw != nil {
 				f.gw.RemoveReplica(h.id)
 			}
+			// A gracefully drained replica is quiescent: recycle it (and
+			// its HSA queue) through the node's pool so autoscaler churn
+			// stops growing per-node state. Release refuses killed
+			// replicas itself — their in-flight events still fire.
+			h.rep.Release()
 		}
 		if h.dead {
 			changed = true
@@ -635,6 +692,7 @@ func (f *Fleet) reap() {
 	if !changed {
 		return
 	}
+	f.router.invalidate()
 	f.handles = compact(f.handles)
 	for _, n := range f.nodes {
 		n.handles = compact(n.handles)
@@ -656,11 +714,37 @@ func (f *Fleet) routeTick(from, to sim.Time) {
 	for _, m := range f.router.models {
 		f.router.drainQueue(m, from)
 	}
+	f.genArrivals(from, to)
+	f.mergeRoute(from)
+}
+
+// genArrivals draws every workload's arrivals for one tick window into the
+// reusable per-model buffers, reporting whether any arrived. The draws
+// must happen exactly once per tick window on every scheduler path — the
+// generators restart their gap sampling from the window start — so this is
+// the one phase an idle tick can never skip.
+func (f *Fleet) genArrivals(from, to sim.Time) bool {
+	any := false
 	for i, w := range f.cfg.Workloads {
 		f.arrivalBufs[i] = workload.TenantArrivals(w.Gen, f.arrivalRngs[i], f.cfg.Tenants, from, to, f.arrivalBufs[i][:0])
+		if len(f.arrivalBufs[i]) > 0 {
+			any = true
+		}
 	}
-	// k-way merge by (time, model index).
-	idx := make([]int, len(f.arrivalBufs))
+	return any
+}
+
+// mergeRoute merges the generated arrival buffers by (time, model index)
+// and routes them — one router pass per tick, so per-request decision cost
+// amortizes over the phase-cached candidate sets.
+func (f *Fleet) mergeRoute(from sim.Time) {
+	if cap(f.mergeIdx) < len(f.arrivalBufs) {
+		f.mergeIdx = make([]int, len(f.arrivalBufs))
+	}
+	idx := f.mergeIdx[:len(f.arrivalBufs)]
+	for i := range idx {
+		idx[i] = 0
+	}
 	if f.gw == nil {
 		for {
 			best := -1

@@ -44,6 +44,7 @@ func (fb *fleetFabric) SendCopy(model, replica int, id uint64, arrival sim.Time,
 			deliver = fb.f.now
 		}
 		h.nodeRef.node.PostSubmit(deliver, at, rep, id)
+		h.nodeRef.noteMail(deliver)
 		return
 	}
 	h.nodeRef.node.Schedule(at, func() { rep.SubmitID(at, id) })

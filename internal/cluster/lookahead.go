@@ -11,26 +11,39 @@ import (
 type Sched int
 
 const (
-	// SchedLookahead is the conservative-lookahead scheduler (the default):
+	// SchedEventHorizon is the event-driven scheduler (the default): the
+	// fleet keeps a min-heap of per-node wake times — the node's next
+	// engine event, lowered to the earliest pending mailbox delivery when
+	// the router posts to it — and each tick advances only the nodes whose
+	// wake falls inside the granted horizon, popped straight off the heap
+	// instead of scanning the fleet. Ticks the whole fleet can prove are
+	// couplings-free (no unpulled completions, no due faults or replans,
+	// empty admission queues, no arrivals after the window's draws) skip
+	// the router phases entirely and advance directly to the next tick
+	// that can act. Byte-identical to SchedLockstep and SchedLookahead at
+	// any worker count.
+	SchedEventHorizon Sched = iota
+	// SchedLookahead is the conservative-lookahead scheduler (PR7):
 	// every tick the fleet grants each up node the horizon now+Tick, but
 	// only nodes that can actually act before the horizon — pending mail,
-	// or a simulation event at or before it — are advanced. The rest are
-	// provably idle across the window (their engines are event-driven, so
-	// no event means no state change) and keep their lagging clocks until
-	// something is posted to them. Cross-node effects travel through
-	// timestamped node mailboxes drained in (time, posting order), which
-	// makes the result byte-identical to SchedLockstep and to serial
-	// execution at any worker count.
-	SchedLookahead Sched = iota
+	// or a simulation event at or before it — are advanced, found by an
+	// O(nodes) scan. The rest are provably idle across the window (their
+	// engines are event-driven, so no event means no state change) and
+	// keep their lagging clocks until something is posted to them.
+	// Cross-node effects travel through timestamped node mailboxes
+	// drained in (time, posting order).
+	SchedLookahead
 	// SchedLockstep is the PR5 baseline: every up node advances to the
 	// tick barrier via a fork-join pool, whether or not it has work. Kept
 	// as the benchmark comparison axis and as a differential oracle for
-	// the lookahead scheduler.
+	// the event-driven schedulers.
 	SchedLockstep
 )
 
 func (s Sched) String() string {
 	switch s {
+	case SchedEventHorizon:
+		return "event-horizon"
 	case SchedLookahead:
 		return "lookahead"
 	case SchedLockstep:
@@ -41,7 +54,7 @@ func (s Sched) String() string {
 }
 
 // Scheds lists every fleet scheduler.
-func Scheds() []Sched { return []Sched{SchedLookahead, SchedLockstep} }
+func Scheds() []Sched { return []Sched{SchedEventHorizon, SchedLookahead, SchedLockstep} }
 
 // SchedByName parses a scheduler name as printed by String.
 func SchedByName(name string) (Sched, error) {

@@ -69,14 +69,16 @@ func TestLookaheadLockstepMatrixIdentical(t *testing.T) {
 			if oracle.Completed == 0 {
 				t.Fatal("degenerate scenario: nothing completed")
 			}
-			for _, workers := range []int{1, 0, 2, 8} {
-				got := run(SchedLookahead, workers)
-				if got.RoutingLog != oracle.RoutingLog {
-					t.Fatalf("lookahead workers=%d: routing log diverged from serial lockstep", workers)
-				}
-				if !reflect.DeepEqual(got, oracle) {
-					t.Fatalf("lookahead workers=%d: results diverged:\nlockstep:  %+v\nlookahead: %+v",
-						workers, oracle, got)
+			for _, sched := range []Sched{SchedLookahead, SchedEventHorizon} {
+				for _, workers := range []int{1, 0, 2, 8} {
+					got := run(sched, workers)
+					if got.RoutingLog != oracle.RoutingLog {
+						t.Fatalf("%v workers=%d: routing log diverged from serial lockstep", sched, workers)
+					}
+					if !reflect.DeepEqual(got, oracle) {
+						t.Fatalf("%v workers=%d: results diverged:\nlockstep: %+v\n%v: %+v",
+							sched, workers, oracle, sched, got)
+					}
 				}
 			}
 			// The lockstep pool itself must also still be order-independent.

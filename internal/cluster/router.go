@@ -176,6 +176,20 @@ type modelState struct {
 	completed     int
 	sloViolations int
 	latency       metrics.Sample
+
+	// readyBuf caches the routable replica set for one routing phase, keyed
+	// by (cacheAt, cacheEpoch): within a tick the router clock is frozen and
+	// the replica set only changes at control-plane points that bump the
+	// router epoch, so every pick of the phase reuses one filtered scan
+	// instead of re-testing routability per candidate (the cost that made
+	// p2c rebuild — and allocate — its candidate slice on every decision).
+	// Only maintained without a gateway: circuit breakers make routability
+	// stateful (a half-open breaker admits exactly one probe), so gateway
+	// picks keep the exact per-decision scan.
+	readyBuf   []*replicaHandle
+	cacheAt    sim.Time
+	cacheEpoch uint64
+	cacheBuilt bool
 }
 
 // router is the SLO-aware front end: per-model queues, pluggable replica
@@ -201,6 +215,13 @@ type router struct {
 	// Schedule applied against the node clock under lockstep, where the two
 	// clocks were equal at every router phase.
 	mailbox bool
+
+	// epoch versions the replica sets: every control-plane mutation that can
+	// change a handle's routability (spawn, drain, kill, reap) bumps it,
+	// invalidating each model's cached ready set. Completions don't — they
+	// touch latency windows and outstanding counts, which the pick paths
+	// read fresh, never routability.
+	epoch uint64
 
 	// log records every routing decision when non-nil (determinism tests,
 	// debugging). One line per request: "<seq> <model>-><replica id>" or
@@ -274,11 +295,37 @@ func (r *router) bestPredictUs(m *modelState, now sim.Time) float64 {
 	return best
 }
 
+// invalidate marks every cached ready set stale; callers invoke it on any
+// control-plane change to a handle's routability flags.
+func (r *router) invalidate() { r.epoch++ }
+
+// readySet returns the model's routable replicas in replica order,
+// rebuilding the cached set only when the phase clock or replica epoch
+// moved. Candidates at their outstanding cap are included — each policy
+// applies its own headroom test — so the set stays valid across the sends
+// of one phase (sends raise outstanding, never routability).
+func (r *router) readySet(m *modelState, now sim.Time) []*replicaHandle {
+	if m.cacheBuilt && m.cacheAt == now && m.cacheEpoch == r.epoch {
+		return m.readyBuf
+	}
+	m.readyBuf = m.readyBuf[:0]
+	for _, h := range m.replicas {
+		if h.routable(now) {
+			m.readyBuf = append(m.readyBuf, h)
+		}
+	}
+	m.cacheAt, m.cacheEpoch, m.cacheBuilt = now, r.epoch, true
+	return m.readyBuf
+}
+
 // pick selects a routable replica with admission headroom, or nil when
 // every candidate is at its outstanding cap (the request then queues).
 // exclude skips one replica id (hedge copies must land elsewhere); -1
-// excludes nothing.
+// excludes nothing. Without a gateway the candidate scan runs over the
+// phase-cached ready set; gateway picks (stateful breakers, hedge
+// exclusions) re-test routability per decision, exactly as before.
 func (r *router) pick(m *modelState, now sim.Time, exclude int) *replicaHandle {
+	cached := r.gw == nil && exclude < 0
 	switch r.policy {
 	case RoundRobin:
 		n := len(m.replicas)
@@ -293,6 +340,17 @@ func (r *router) pick(m *modelState, now sim.Time, exclude int) *replicaHandle {
 
 	case LeastOutstanding:
 		var best *replicaHandle
+		if cached {
+			for _, h := range r.readySet(m, now) {
+				if h.outstanding >= r.outstandingCap {
+					continue
+				}
+				if best == nil || h.outstanding < best.outstanding {
+					best = h
+				}
+			}
+			return best
+		}
 		for _, h := range m.replicas {
 			if h.id == exclude || !h.routable(now) || h.outstanding >= r.outstandingCap {
 				continue
@@ -305,10 +363,16 @@ func (r *router) pick(m *modelState, now sim.Time, exclude int) *replicaHandle {
 
 	case PowerOfTwo:
 		var ready []*replicaHandle
-		for _, h := range m.replicas {
-			if h.id != exclude && h.routable(now) {
-				ready = append(ready, h)
+		if cached {
+			ready = r.readySet(m, now)
+		} else {
+			ready = m.readyBuf[:0]
+			for _, h := range m.replicas {
+				if h.id != exclude && h.routable(now) {
+					ready = append(ready, h)
+				}
 			}
+			m.readyBuf, m.cacheBuilt = ready, false
 		}
 		if len(ready) == 0 {
 			return nil
@@ -329,6 +393,18 @@ func (r *router) pick(m *modelState, now sim.Time, exclude int) *replicaHandle {
 	case SLOAware:
 		var best *replicaHandle
 		bestScore := 0.0
+		if cached {
+			for _, h := range r.readySet(m, now) {
+				if h.outstanding >= r.outstandingCap {
+					continue
+				}
+				score := predictUs(m, h)
+				if best == nil || score < bestScore || (score == bestScore && h.id < best.id) {
+					best, bestScore = h, score
+				}
+			}
+			return best
+		}
 		for _, h := range m.replicas {
 			if h.id == exclude || !h.routable(now) || h.outstanding >= r.outstandingCap {
 				continue
@@ -391,6 +467,7 @@ func (r *router) send(m *modelState, h *replicaHandle, arrival, now sim.Time, te
 			deliver = now // queued re-sends deliver now, like Schedule's clamp
 		}
 		h.nodeRef.node.PostSubmit(deliver, at, rep, id)
+		h.nodeRef.noteMail(deliver)
 		return
 	}
 	if r.gw != nil {

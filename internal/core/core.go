@@ -180,6 +180,23 @@ func NewRuntime(eng *sim.Engine, cp *hsa.CommandProcessor, queue *hsa.Queue, rs 
 	}
 }
 
+// Reconfigure rebinds a pooled runtime for a fresh run: new queue, sizer
+// and config on the same engine/processor/device, with the degradation
+// ladder and sequence counter returned to their initial state. It is the
+// reuse twin of NewRuntime and panics under the same invariant.
+func (rt *Runtime) Reconfigure(queue *hsa.Queue, rs *RightSizer, cfg Config) {
+	if cfg.Mode != ModePassthrough && rs == nil {
+		panic("core: right-sizing modes require a RightSizer")
+	}
+	rt.cfg = cfg
+	rt.queue = queue
+	rt.rs = rs
+	rt.seq = 0
+	rt.level = 0
+	rt.ioctlFailStreak = 0
+	rt.degradedSince = 0
+}
+
 // Queue returns the underlying HSA queue.
 func (rt *Runtime) Queue() *hsa.Queue { return rt.queue }
 

@@ -77,6 +77,14 @@ func (m *Meter) Reset(now sim.Time) {
 	m.joules = 0
 }
 
+// Rezero returns the meter to its just-constructed state — clock at zero,
+// idle device, empty integral — for reuse against a reset engine.
+func (m *Meter) Rezero() {
+	m.lastTime = 0
+	m.lastBusy = 0
+	m.joules = 0
+}
+
 // PerInference divides total energy by completed inferences; zero
 // inferences yields 0.
 func PerInference(joules float64, inferences int) float64 {

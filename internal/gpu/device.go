@@ -373,6 +373,38 @@ func (d *Device) ResetUtilization() {
 	d.lastBusyCUs = d.BusyCUs()
 }
 
+// Reset returns the device to its just-constructed state for engine reuse:
+// in-flight executions are detached and recycled (their completion events
+// died with the engine's reset), occupancy and pressure state zeroed, and
+// CU health restored. The occupancy generation and exec id counters stay
+// monotonic — caches keyed on gen can never confuse a pre-reset state with
+// a post-reset one, and nothing observes their absolute values — which is
+// what lets the exec free list and mask caches survive across runs.
+func (d *Device) Reset() {
+	for _, x := range d.running {
+		x.onDone = nil
+		x.done = nil
+		x.work = KernelWork{}
+		x.mask = CUMask{}
+		d.execFree = append(d.execFree, x)
+	}
+	d.running = d.running[:0]
+	for i := range d.counters {
+		d.counters[i] = 0
+		d.pressure[i] = 0
+		d.degrade[i] = 0
+	}
+	d.busy = 0
+	d.numDegraded = 0
+	d.memPressure = 0
+	d.healthy = FullMask(d.Spec.Topo)
+	d.allHealthy = true
+	d.gen++
+	d.busyIntegral = 0
+	d.lastBusyAt = 0
+	d.lastBusyCUs = 0
+}
+
 func (d *Device) accumulateBusy() {
 	now := d.eng.Now()
 	d.busyIntegral += float64(d.lastBusyCUs) * (now - d.lastBusyAt)

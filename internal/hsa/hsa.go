@@ -231,14 +231,22 @@ type CommandProcessor struct {
 	masks *alloc.MaskCache
 
 	// sigFree recycles completion signals leased through GetSignal /
-	// GetBarrierSignal.
+	// GetBarrierSignal. sigAll tracks every signal this processor ever
+	// allocated, so Reset can reclaim leases orphaned by an engine reset
+	// (signals of kernels still in flight when a run was cut off).
 	sigFree []*Signal
+	sigAll  []*Signal
 
 	// ioctlFreeAt implements global IOCTL serialization.
 	ioctlFreeAt sim.Time
 	nextQueueID int
 	queues      []*Queue
-	faults      FaultHook
+	// queueFree recycles released queues (ReleaseQueue / Reset) so replica
+	// churn and run reuse stop growing cp.queues without bound. A recycled
+	// queue keeps its original ID: cross-queue ordering is driven by event
+	// sequence, never by ID, and ActiveStreams only counts busy queues.
+	queueFree []*Queue
+	faults    FaultHook
 	// tel, when non-nil, receives dispatch/IOCTL/queue telemetry. Handles
 	// are resolved once (see telemetry.go); a disabled run keeps this nil
 	// and pays one pointer check per packet.
@@ -354,6 +362,7 @@ func (cp *CommandProcessor) leaseSignal(initial int) *Signal {
 		cp.sigFree = cp.sigFree[:n-1]
 	} else {
 		s = &Signal{pool: cp}
+		cp.sigAll = append(cp.sigAll, s)
 	}
 	s.value = initial
 	s.fired = false
@@ -406,23 +415,108 @@ type Queue struct {
 	// resume is the event that restarts the pump when the stall expires.
 	stalledUntil sim.Time
 	resume       *sim.Event
+
+	// pendingIOCTL counts SetCUMask IOCTLs issued on this queue whose
+	// apply events have not fired yet. A queue with one in flight is not
+	// quiescent: recycling it would let the stale apply clobber the next
+	// tenant's mask.
+	pendingIOCTL int
 }
 
-// NewQueue allocates a queue whose initial CU mask is the full device.
+// NewQueue allocates a queue whose initial CU mask is the full device,
+// recycling a released queue when one is available.
 func (cp *CommandProcessor) NewQueue() *Queue {
-	cp.nextQueueID++
-	q := &Queue{
-		ID:   cp.nextQueueID,
-		cp:   cp,
-		mask: gpu.FullMask(cp.dev.Spec.Topo),
+	var q *Queue
+	if n := len(cp.queueFree); n > 0 {
+		q = cp.queueFree[n-1]
+		cp.queueFree[n-1] = nil
+		cp.queueFree = cp.queueFree[:n-1]
+	} else {
+		cp.nextQueueID++
+		q = &Queue{
+			ID: cp.nextQueueID,
+			cp: cp,
+		}
+		q.dispatchFn = q.dispatchCur
+		q.kernelDoneFn = q.kernelDone
+		q.barrierFn = q.barrierReady
+		q.barrierDepFn = q.barrierDepDone
 	}
-	q.dispatchFn = q.dispatchCur
-	q.kernelDoneFn = q.kernelDone
-	q.barrierFn = q.barrierReady
-	q.barrierDepFn = q.barrierDepDone
+	q.mask = gpu.FullMask(cp.dev.Spec.Topo)
 	cp.queues = append(cp.queues, q)
 	cp.tel.nameQueue(q.ID)
 	return q
+}
+
+// Quiescent reports whether the queue holds no packet, no in-flight work,
+// no pending stall resume and no un-applied CU-mask IOCTL — the condition
+// under which recycling it cannot be observed.
+func (q *Queue) Quiescent() bool {
+	return !q.busy && q.Pending() == 0 && q.resume == nil && q.pendingIOCTL == 0
+}
+
+// reset returns a queue to its just-constructed state, keeping its ID and
+// pre-bound dispatch hooks.
+func (q *Queue) reset() {
+	q.mask = gpu.FullMask(q.cp.dev.Spec.Topo)
+	q.packets = q.packets[:0]
+	q.head = 0
+	q.busy = false
+	q.cur = Packet{}
+	q.curKernelScoped = false
+	q.curFaulted = false
+	q.barrierWaits = 0
+	q.curConsumedAt = 0
+	q.curDispatchedAt = 0
+	q.stalledUntil = 0
+	q.resume = nil
+	q.pendingIOCTL = 0
+}
+
+// ReleaseQueue retires a quiescent queue to the free list for reuse by a
+// later NewQueue, removing it from the processor's live set. Queues that
+// are busy, stalled, or have an IOCTL in flight are left alone — their
+// pending engine events still reference them, so the caller simply leaks
+// them to the garbage collector.
+func (cp *CommandProcessor) ReleaseQueue(q *Queue) {
+	if q == nil || q.cp != cp || !q.Quiescent() {
+		return
+	}
+	for i, x := range cp.queues {
+		if x == q {
+			cp.queues = append(cp.queues[:i], cp.queues[i+1:]...)
+			q.reset()
+			cp.queueFree = append(cp.queueFree, q)
+			return
+		}
+	}
+}
+
+// Reset returns the command processor to its just-constructed state for
+// reuse against a reset engine and device. Every live queue is force-reset
+// (the engine reset already dropped any events referencing it) and parked
+// on the free list in creation order, so a rerun's NewQueue calls get the
+// same queues back with the same IDs. The mask cache survives: its idle
+// side is a pure function of topology, and its busy side is keyed on the
+// device occupancy generation, which Device.Reset advances.
+func (cp *CommandProcessor) Reset() {
+	for i := len(cp.queues) - 1; i >= 0; i-- {
+		q := cp.queues[i]
+		q.reset()
+		cp.queueFree = append(cp.queueFree, q)
+		cp.queues[i] = nil
+	}
+	cp.queues = cp.queues[:0]
+	// Every lease is dead once the engine resets: rebuild the free list
+	// from the full signal population, reclaiming in-flight orphans.
+	cp.sigFree = cp.sigFree[:0]
+	for _, s := range cp.sigAll {
+		s.waiters = s.waiters[:0]
+		cp.sigFree = append(cp.sigFree, s)
+	}
+	cp.ioctlFreeAt = 0
+	cp.DispatchCount = 0
+	cp.faults = nil
 }
 
 // CUMask returns the queue's current stream-scoped CU mask.
@@ -470,7 +564,9 @@ func (q *Queue) SetCUMaskChecked(mask gpu.CUMask, onApplied func(err error)) {
 		t.IOCTLLatency.Observe(applyAt - now)
 		t.tracer.Span("hsa", "cu_mask_ioctl", t.pid, q.ID, start, applyAt)
 	}
+	q.pendingIOCTL++
 	cp.eng.At(applyAt, func() {
+		q.pendingIOCTL--
 		if fail {
 			if onApplied != nil {
 				onApplied(ErrIOCTLFault)

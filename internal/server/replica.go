@@ -60,6 +60,14 @@ type Node struct {
 	inj      *faults.Injector
 	replicas []*Replica
 
+	// replicaFree pools gracefully released replicas per GPU (a replica's
+	// runtime is bound to one command processor, so reuse never crosses
+	// devices). replicaSeq counts every AddReplica ever made and seeds the
+	// replica RNG — the same sequence len(replicas) produced before
+	// released replicas started leaving the live list.
+	replicaFree [][]*Replica
+	replicaSeq  int64
+
 	// mail is the node's cross-node command inbox for lookahead
 	// scheduling: the cluster's router phase posts timestamped request
 	// deliveries here instead of scheduling closures, and AdvanceTo
@@ -373,6 +381,16 @@ type Replica struct {
 	// hit the cache too instead of rebuilding the sequence every batch.
 	descCache [][]kernels.Desc
 	descBuf   []kernels.Desc
+
+	// The replica serves one dynamic batch at a time, so the batch
+	// lifecycle lives in fields driven by pre-bound hooks instead of a
+	// per-batch closure chain. curBatch is latched at batch start: Kill
+	// clears inflight while the pre-processing event is still pending, so
+	// the size must not be re-read when the hook fires.
+	curBatch int
+	preFn    func()
+	seqFn    func()
+	postFn   func()
 }
 
 // AddReplica creates a replica on the node. The spec's GPU must exist.
@@ -394,14 +412,67 @@ func (n *Node) AddReplica(spec ReplicaSpec) *Replica {
 		OverlapLimit: spec.OverlapLimit,
 		Device:       n.cfg.Index*n.cfg.GPUs + spec.GPU,
 	}
-	r := &Replica{
-		node: n,
-		spec: spec,
-		rt:   core.NewRuntime(n.eng, stack.cp, q, core.NewFixedRightSizer(spec.CUs, total), rtCfg),
-		rng:  rand.New(rand.NewSource(n.cfg.Seed + int64(len(n.replicas))*7919 + 1)),
+	seed := n.cfg.Seed + n.replicaSeq*7919 + 1
+	n.replicaSeq++
+	sizer := core.NewFixedRightSizer(spec.CUs, total)
+
+	var r *Replica
+	if free := n.replicaFree; spec.GPU < len(free) && len(free[spec.GPU]) > 0 {
+		// Reuse a released replica from this GPU's pool: reseed its RNG in
+		// place, rebind its runtime to the fresh queue, and invalidate the
+		// batch-sequence cache if the workload changed.
+		last := len(free[spec.GPU]) - 1
+		r = free[spec.GPU][last]
+		free[spec.GPU][last] = nil
+		n.replicaFree[spec.GPU] = free[spec.GPU][:last]
+		if r.spec.Model.Name != spec.Model.Name || r.spec.Batch != spec.Batch {
+			r.descCache = nil
+		}
+		r.spec = spec
+		r.rng.Seed(seed)
+		r.rt.Reconfigure(q, sizer, rtCfg)
+	} else {
+		r = &Replica{
+			node: n,
+			spec: spec,
+			rt:   core.NewRuntime(n.eng, stack.cp, q, sizer, rtCfg),
+			rng:  rand.New(rand.NewSource(seed)),
+		}
 	}
 	n.replicas = append(n.replicas, r)
 	return r
+}
+
+// Release returns a gracefully drained replica to its node's pool: the HSA
+// queue goes back to the command processor and the replica struct (runtime,
+// RNG, buffers) is recycled by a later AddReplica on the same GPU. Only a
+// quiescent replica can be released — drained, never killed, with all
+// completions already pulled. A killed replica still has in-flight engine
+// events bound to it, so Release refuses it and the caller simply leaks it.
+func (r *Replica) Release() {
+	if r.killed || !r.Drained() || len(r.completions) > 0 || len(r.inflight) > 0 {
+		return
+	}
+	n := r.node
+	n.gpus[r.spec.GPU].cp.ReleaseQueue(r.rt.Queue())
+	for i, x := range n.replicas {
+		if x == r {
+			last := len(n.replicas) - 1
+			n.replicas[i] = n.replicas[last]
+			n.replicas[last] = nil
+			n.replicas = n.replicas[:last]
+			break
+		}
+	}
+	r.queue = r.queue[:0]
+	r.busy = false
+	r.draining = false
+	r.stats = ReplicaStats{}
+	r.curBatch = 0
+	if n.replicaFree == nil {
+		n.replicaFree = make([][]*Replica, len(n.gpus))
+	}
+	n.replicaFree[r.spec.GPU] = append(n.replicaFree[r.spec.GPU], r)
 }
 
 // Spec returns the replica's placement spec.
@@ -535,34 +606,49 @@ func (r *Replica) maybeStart() {
 	r.inflight = append(r.inflight[:0], r.queue[:n]...)
 	r.queue = r.queue[:copy(r.queue, r.queue[n:])]
 	r.busy = true
+	r.curBatch = n
+	if r.preFn == nil {
+		r.preFn = r.preDone
+		r.seqFn = r.seqDone
+		r.postFn = r.postDone
+	}
+	r.node.eng.After(r.node.cfg.PreprocessUs, r.preFn)
+}
 
-	eng := r.node.eng
-	eng.After(r.node.cfg.PreprocessUs, func() {
-		descs := r.batchKernels(n)
-		r.rt.RunSequence(descs, func() {
-			eng.After(r.node.cfg.PostprocessUs, func() {
-				r.busy = false
-				if r.killed {
-					r.inflight = r.inflight[:0]
-					return
-				}
-				end := eng.Now()
-				served := 0
-				for _, p := range r.inflight {
-					r.completions = append(r.completions, Completion{
-						ID: p.id, Arrival: p.arrival, End: end, Cancelled: p.cancelled,
-					})
-					if !p.cancelled {
-						served++
-					}
-				}
-				r.stats.CompletedBatches++
-				r.stats.CompletedRequests += served
-				r.inflight = r.inflight[:0]
-				r.maybeStart()
-			})
+// preDone fires when pre-processing completes: submit the latched batch's
+// kernel sequence (the batch may have been killed meanwhile — the work
+// still runs, its completions are suppressed in postDone).
+func (r *Replica) preDone() {
+	r.rt.RunSequence(r.batchKernels(r.curBatch), r.seqFn)
+}
+
+// seqDone fires when the last kernel completes: pay post-processing.
+func (r *Replica) seqDone() {
+	r.node.eng.After(r.node.cfg.PostprocessUs, r.postFn)
+}
+
+// postDone closes out the batch, records completions, and starts the next
+// batch if requests queued up meanwhile.
+func (r *Replica) postDone() {
+	r.busy = false
+	if r.killed {
+		r.inflight = r.inflight[:0]
+		return
+	}
+	end := r.node.eng.Now()
+	served := 0
+	for _, p := range r.inflight {
+		r.completions = append(r.completions, Completion{
+			ID: p.id, Arrival: p.arrival, End: end, Cancelled: p.cancelled,
 		})
-	})
+		if !p.cancelled {
+			served++
+		}
+	}
+	r.stats.CompletedBatches++
+	r.stats.CompletedRequests += served
+	r.inflight = r.inflight[:0]
+	r.maybeStart()
 }
 
 // batchKernels builds the model's kernel sequence for an n-request batch

@@ -212,16 +212,26 @@ func Run(cfg Config) Result {
 		cfg.Jitter = 0
 	}
 
-	prof := profile.New(profile.Config{Spec: cfg.Spec, Tolerance: 0.05, LaunchOverhead: cfg.HSA.PacketProcessTime})
-
 	chaosArmed := !cfg.Faults.Empty()
+
+	// The profiler backs window auto-sizing and on-the-fly right-sizing;
+	// a fully specified run (explicit windows, precomputed right-sizes,
+	// prebuilt DB) never touches it, so it is built lazily — profiler
+	// construction is a measurable slice of a pooled run's setup cost.
+	var prof *profile.Profiler
+	getProf := func() *profile.Profiler {
+		if prof == nil {
+			prof = profile.New(profile.Config{Spec: cfg.Spec, Tolerance: 0.05, LaunchOverhead: cfg.HSA.PacketProcessTime})
+		}
+		return prof
+	}
 
 	// The slowest worker's isolated latency sizes the windows and, when
 	// chaos is armed, the watchdog and SLO-guard defaults.
 	var slowest sim.Duration
 	if cfg.Warmup == 0 || cfg.Measure == 0 || chaosArmed {
 		for _, w := range cfg.Workers {
-			if l := prof.ModelLatency(w.Model.Kernels(w.Batch), cfg.Spec.Topo.TotalCUs()); l > slowest {
+			if l := getProf().ModelLatency(w.Model.Kernels(w.Batch), cfg.Spec.Topo.TotalCUs()); l > slowest {
 				slowest = l
 			}
 		}
@@ -239,8 +249,33 @@ func Run(cfg Config) Result {
 		cfg.Measure = 180 * slowest * scale
 	}
 
+	numGPUs := cfg.GPUs
+	if numGPUs < 1 {
+		numGPUs = 1
+	}
+	hsaCfg := cfg.HSA
+	hsaCfg.KernelScoped = cfg.Policy.KernelScoped() && !cfg.ForceEmulation
+
+	// Acquire the run context: engine, per-GPU stacks, worker slots. A
+	// pooled context with a matching shape is reset in place; everything
+	// below reapplies the per-run configuration on top of it.
+	st := acquireRun(runShape{
+		spec:    cfg.Spec,
+		hsa:     hsaCfg,
+		power:   cfg.Power,
+		gpus:    numGPUs,
+		workers: len(cfg.Workers),
+	}, cfg.Telemetry)
+	eng := st.eng
+	gpus := st.gpus
+	if cfg.Ctx != nil {
+		ctx := cfg.Ctx
+		eng.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
+
 	// Per-worker model right-sizes feed the model-granular policies.
-	rightSizes := make([]int, len(cfg.Workers))
+	rightSizes := scratchInts(st.rightSizes, len(cfg.Workers))
+	st.rightSizes = rightSizes
 	if cfg.Policy == policies.ModelRightSize || cfg.Policy == policies.MRSRequest {
 		cache := map[string]int{}
 		for i, w := range cfg.Workers {
@@ -249,7 +284,7 @@ func Run(cfg Config) Result {
 			if !ok {
 				rs, ok = cache[key]
 				if !ok {
-					rs = prof.ModelRightSize(w.Model.Kernels(w.Batch))
+					rs = getProf().ModelRightSize(w.Model.Kernels(w.Batch))
 					cache[key] = rs
 				}
 			}
@@ -262,20 +297,24 @@ func Run(cfg Config) Result {
 		db = BuildDB(cfg.Spec, cfg.Workers)
 	}
 
-	numGPUs := cfg.GPUs
-	if numGPUs < 1 {
-		numGPUs = 1
-	}
-
 	// Workers spread over devices round-robin; partitioning policies are
 	// applied independently per device (a spatial partition never spans
 	// GPUs).
-	perGPU := make([][]int, numGPUs) // worker indices per device
+	if cap(st.perGPU) < numGPUs {
+		st.perGPU = make([][]int, numGPUs)
+	}
+	perGPU := st.perGPU[:numGPUs] // worker indices per device
+	for g := range perGPU {
+		perGPU[g] = perGPU[g][:0]
+	}
 	for i := range cfg.Workers {
 		g := i % numGPUs
 		perGPU[g] = append(perGPU[g], i)
 	}
-	assignments := make([]policies.Assignment, len(cfg.Workers))
+	if cap(st.assignments) < len(cfg.Workers) {
+		st.assignments = make([]policies.Assignment, len(cfg.Workers))
+	}
+	assignments := st.assignments[:len(cfg.Workers)]
 	anyOversub := false
 	for _, idxs := range perGPU {
 		if len(idxs) == 0 {
@@ -301,39 +340,12 @@ func Run(cfg Config) Result {
 		}
 	}
 
-	eng := sim.New()
-	if cfg.Ctx != nil {
-		ctx := cfg.Ctx
-		eng.SetInterrupt(func() bool { return ctx.Err() != nil })
-	}
-	type gpuStack struct {
-		meter *energy.Meter
-		dev   *gpu.Device
-		cp    *hsa.CommandProcessor
-	}
 	var inj *faults.Injector
 	if chaosArmed {
 		inj = faults.NewInjector(eng, *cfg.Faults)
-	}
-	hsaCfg := cfg.HSA
-	hsaCfg.KernelScoped = cfg.Policy.KernelScoped() && !cfg.ForceEmulation
-	gpus := make([]gpuStack, numGPUs)
-	coreTels := make([]*core.Telemetry, numGPUs)
-	for g := range gpus {
-		meter := energy.NewMeter(cfg.Power)
-		dev := gpu.NewDevice(eng, cfg.Spec, meter)
-		cp := hsa.NewCommandProcessor(eng, dev, hsaCfg)
-		if inj != nil {
-			cp.SetFaults(inj)
+		for _, g := range gpus {
+			g.cp.SetFaults(inj)
 		}
-		// The telemetry constructors return nil on a nil hub, so this wiring
-		// is unconditional and installs nothing when telemetry is off.
-		dev.SetTelemetry(gpu.NewTelemetry(cfg.Telemetry, cfg.Spec.Topo, g))
-		cp.SetTelemetry(hsa.NewTelemetry(cfg.Telemetry, g))
-		coreTels[g] = core.NewTelemetry(cfg.Telemetry, g)
-		gpus[g] = gpuStack{meter: meter, dev: dev, cp: cp}
-	}
-	if inj != nil {
 		inj.SetTelemetry(faults.NewTelemetry(cfg.Telemetry))
 	}
 	rs := core.NewRightSizer(db, cfg.Spec.Topo.TotalCUs())
@@ -341,7 +353,7 @@ func Run(cfg Config) Result {
 	measureStart := cfg.Warmup
 	measureEnd := cfg.Warmup + cfg.Measure
 
-	workers := make([]*worker, len(cfg.Workers))
+	workers := st.workers
 	for i, spec := range cfg.Workers {
 		a := assignments[i]
 		stack := gpus[i%numGPUs]
@@ -357,7 +369,7 @@ func Run(cfg Config) Result {
 			Mode:         mode,
 			OverlapLimit: a.OverlapLimit,
 			Device:       i % numGPUs,
-			Telemetry:    coreTels[i%numGPUs],
+			Telemetry:    st.coreTels[i%numGPUs],
 		}
 		if i == 0 {
 			rtCfg.Trace = cfg.Trace
@@ -374,28 +386,51 @@ func Run(cfg Config) Result {
 		if a.FixedPartition > 0 {
 			workerRS = core.NewFixedRightSizer(a.FixedPartition, cfg.Spec.Topo.TotalCUs())
 		}
-		workers[i] = &worker{
-			spec:         spec,
-			rt:           core.NewRuntime(eng, stack.cp, q, workerRS, rtCfg),
-			rng:          rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1)),
-			eng:          eng,
-			pre:          cfg.PreprocessUs,
-			post:         cfg.PostprocessUs,
-			jitter:       cfg.Jitter,
-			measureStart: measureStart,
-			measureEnd:   measureEnd,
+		w := workers[i]
+		seed := cfg.Seed + int64(i)*7919 + 1
+		if w.rng == nil {
+			w.rng = rand.New(rand.NewSource(seed))
+		} else {
+			// Reseeding in place restores the exact state rand.New would
+			// produce, without the source allocation.
+			w.rng.Seed(seed)
 		}
-		workers[i].stats.Model = spec.Model.Name
-		workers[i].stats.Batch = spec.Batch
-		workers[i].openLoop = cfg.openLoop
-		workers[i].tel = newWorkerTelemetry(cfg.Telemetry, spec.Model.Name, i%numGPUs, q.ID)
+		if w.rt == nil {
+			w.rt = core.NewRuntime(eng, stack.cp, q, workerRS, rtCfg)
+		} else {
+			w.rt.Reconfigure(q, workerRS, rtCfg)
+		}
+		// The cached kernel sequence is a pure function of (model, batch);
+		// invalidate it only when the slot's workload changed.
+		if w.spec.Model.Name != spec.Model.Name || w.spec.Batch != spec.Batch {
+			w.baseDescs = nil
+		}
+		w.spec = spec
+		w.eng = eng
+		w.pre = cfg.PreprocessUs
+		w.post = cfg.PostprocessUs
+		w.jitter = cfg.Jitter
+		w.measureStart = measureStart
+		w.measureEnd = measureEnd
+		// Fresh stats every run: the latency Sample escapes into Result,
+		// so its backing store must never be recycled.
+		w.stats = WorkerStats{Model: spec.Model.Name, Batch: spec.Batch}
+		w.openLoop = cfg.openLoop
+		w.chaos = nil
+		w.wd = nil
+		w.batchStart = 0
+		w.tel = newWorkerTelemetry(cfg.Telemetry, spec.Model.Name, i%numGPUs, q.ID)
 	}
 
 	// Arm the chaos substrate now that every queue exists: inject the fault
 	// timeline, start the SLO guard, and hand each worker its watchdog.
 	if inj != nil {
-		devs := make([]*gpu.Device, numGPUs)
-		cps := make([]*hsa.CommandProcessor, numGPUs)
+		if cap(st.devs) < numGPUs {
+			st.devs = make([]*gpu.Device, numGPUs)
+			st.cps = make([]*hsa.CommandProcessor, numGPUs)
+		}
+		devs := st.devs[:numGPUs]
+		cps := st.cps[:numGPUs]
 		for g := range gpus {
 			devs[g] = gpus[g].dev
 			cps[g] = gpus[g].cp
@@ -480,11 +515,13 @@ func Run(cfg Config) Result {
 		stats := inj.Stats
 		result.Faults = &stats
 	}
+	result.Workers = make([]WorkerStats, 0, len(workers))
 	for _, w := range workers {
 		result.Workers = append(result.Workers, w.stats)
 	}
 	result.RPS = metrics.Throughput(result.TotalRequests(), float64(cfg.Measure))
 	result.EnergyPerInference = energy.PerInference(result.EnergyJ, result.TotalRequests())
+	st.release()
 	return result
 }
 
@@ -511,37 +548,61 @@ type worker struct {
 	// the next batch as soon as the sequence is submitted.
 	baseDescs []kernels.Desc
 	descBuf   []kernels.Desc
+
+	// The closed loop keeps exactly one batch in flight, so the batch
+	// lifecycle lives in worker fields driven by pre-bound hooks instead
+	// of a per-batch closure chain — the steady-state loop allocates
+	// nothing.
+	batchStart sim.Time
+	wd         *watchdog
+	preFn      func()
+	seqFn      func()
+	postFn     func()
 }
 
-func (w *worker) start() { w.runBatch() }
+func (w *worker) start() {
+	if w.preFn == nil {
+		w.preFn = w.preDone
+		w.seqFn = w.seqDone
+		w.postFn = w.postDone
+	}
+	w.runBatch()
+}
 
 func (w *worker) runBatch() {
-	batchStart := w.eng.Now()
-	var wd *watchdog
+	w.batchStart = w.eng.Now()
 	if w.chaos != nil {
-		wd = w.chaos.armWatchdog(w)
+		w.wd = w.chaos.armWatchdog(w)
 	}
-	w.eng.After(w.pre, func() {
-		descs := w.jitteredKernels()
-		w.rt.RunSequence(descs, func() {
-			w.eng.After(w.post, func() {
-				if wd != nil {
-					wd.stop()
-				}
-				end := w.eng.Now()
-				if w.chaos != nil {
-					w.chaos.observeBatch(end - batchStart)
-				}
-				w.tel.observeBatch(w.spec.Batch, batchStart, end)
-				if end > w.measureStart && end <= w.measureEnd {
-					w.stats.Batches++
-					w.stats.Requests += w.spec.Batch
-					w.stats.BatchLatency.Add(end - batchStart)
-				}
-				w.runBatch()
-			})
-		})
-	})
+	w.eng.After(w.pre, w.preFn)
+}
+
+// preDone fires when pre-processing completes: submit the batch's kernel
+// sequence.
+func (w *worker) preDone() {
+	w.rt.RunSequence(w.jitteredKernels(), w.seqFn)
+}
+
+// seqDone fires when the last kernel completes: pay post-processing.
+func (w *worker) seqDone() { w.eng.After(w.post, w.postFn) }
+
+// postDone closes out the batch and immediately starts the next one.
+func (w *worker) postDone() {
+	if w.wd != nil {
+		w.wd.stop()
+		w.wd = nil
+	}
+	end := w.eng.Now()
+	if w.chaos != nil {
+		w.chaos.observeBatch(end - w.batchStart)
+	}
+	w.tel.observeBatch(w.spec.Batch, w.batchStart, end)
+	if end > w.measureStart && end <= w.measureEnd {
+		w.stats.Batches++
+		w.stats.Requests += w.spec.Batch
+		w.stats.BatchLatency.Add(end - w.batchStart)
+	}
+	w.runBatch()
 }
 
 // jitteredKernels returns the model's kernel sequence with small

@@ -329,6 +329,33 @@ func (e *Engine) NextEventTime() (Time, bool) {
 	return 0, false
 }
 
+// Reset returns the engine to its initial state — clock at zero, no
+// pending events, sequence and processed counters rezeroed — while keeping
+// the event free list and heap capacity, so a reused engine schedules with
+// zero allocations from the first event. Every pending event is discarded
+// (its callback never fires) and its record recycled. A run on a Reset
+// engine is indistinguishable from a run on a New engine: the first event
+// gets seq 1, interrupt polling starts mid-stride at processed 0, and any
+// previously installed interrupt hook is cleared.
+func (e *Engine) Reset() {
+	for i := range e.events {
+		ev := e.events[i].ev
+		if ev.state == statePending {
+			ev.wasCanceled = false
+		}
+		e.recycle(ev)
+		e.events[i] = entry{}
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.live = 0
+	e.processed = 0
+	e.interrupt = nil
+	e.interrupted = false
+	e.forcePoll = false
+}
+
 // ---------------------------------------------------------------------------
 // 4-ary min-heap over []entry, ordered by (at, seq).
 //

@@ -487,3 +487,83 @@ func TestEngineMatchesReferenceModel(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// replayTrace runs a small deterministic scenario on the engine and
+// returns the observable fire trace: (time, label) per fired event,
+// exercising scheduling, cancellation, reschedule and nested events.
+func replayTrace(e *Engine) []Time {
+	var trace []Time
+	note := func() { trace = append(trace, e.Now()) }
+	e.At(5, note)
+	a := e.At(3, note)
+	e.At(3, func() {
+		note()
+		e.After(4, note) // nested: fires at 7
+	})
+	e.Reschedule(a, 6)
+	b := e.At(2, note)
+	e.Cancel(b)
+	e.RunUntil(6)
+	e.At(9, note)
+	e.Run()
+	return trace
+}
+
+func TestResetMatchesFreshEngine(t *testing.T) {
+	fresh := New()
+	want := replayTrace(fresh)
+
+	reused := New()
+	// Dirty the engine thoroughly: leave pending events behind, advance the
+	// clock, install an interrupt.
+	reused.SetInterrupt(func() bool { return false })
+	for i := 0; i < 100; i++ {
+		ev := reused.After(Duration(i+1), func() {})
+		if i%4 == 0 {
+			reused.Cancel(ev)
+		}
+	}
+	reused.RunUntil(50) // leaves events beyond 50 pending
+	reused.Reset()
+
+	if reused.Now() != 0 {
+		t.Fatalf("Now after Reset = %v, want 0", reused.Now())
+	}
+	if reused.Pending() != 0 {
+		t.Fatalf("Pending after Reset = %d, want 0", reused.Pending())
+	}
+	if reused.Processed() != 0 {
+		t.Fatalf("Processed after Reset = %d, want 0", reused.Processed())
+	}
+	got := replayTrace(reused)
+	if len(got) != len(want) {
+		t.Fatalf("trace length %d after Reset, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace[%d] = %v after Reset, want %v", i, got[i], want[i])
+		}
+	}
+	if reused.seq != fresh.seq {
+		t.Errorf("seq after replay = %d, want %d (fresh)", reused.seq, fresh.seq)
+	}
+}
+
+func TestResetThenScheduleDoesNotAllocate(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		e.After(Duration(i%97+1), fn)
+	}
+	e.RunUntil(40)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Reset()
+		for i := 0; i < 128; i++ {
+			e.After(Duration(i%97+1), fn)
+		}
+		e.RunUntil(40) // leave a tail pending for the next Reset to collect
+	})
+	if allocs > 0 {
+		t.Errorf("Reset+reschedule allocated %.1f times per run, want 0", allocs)
+	}
+}
