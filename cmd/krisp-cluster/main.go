@@ -9,6 +9,8 @@
 //	krisp-cluster -down 2:120 -policy least-outstanding
 //	krisp-cluster -chaos gray-node -gateway
 //	krisp-cluster -chaos overload-burst -tenants 4
+//	krisp-cluster -journeys 100 -slo-monitors
+//	krisp-cluster -chaos gray-node -flight flight.json -flight-trace flight-trace.json
 //	krisp-cluster -serve :8080   (fleet metrics stay up on /metrics)
 //
 // Each listed model is served with a diurnal rate profile sweeping
@@ -19,11 +21,16 @@
 // -gateway fronts the router with the resilience layer (admission control,
 // circuit breakers, hedging, retry budget) and prints its shed / hedged /
 // broken-circuit summary at exit; -chaos and -tenants imply it.
+// -journeys N samples every Nth request's journey for per-stage latency
+// attribution; -slo-monitors runs burn-rate alerting and prints the monitor
+// table at exit; -flight / -flight-trace dump the anomalous-journey ring as
+// JSON or a Chrome trace (both imply -journeys 1 unless set).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -63,6 +70,10 @@ func main() {
 		useGateway = flag.Bool("gateway", false, "front the router with the resilience gateway (admission, breakers, hedging, retry budget)")
 		chaosName  = flag.String("chaos", "", "apply a named chaos scenario ('list' to enumerate); implies -gateway")
 		tenants    = flag.Int("tenants", 1, "split arrivals across N equal-weight tenants (first half premium class 0, rest class 1); >1 implies -gateway")
+		journeys   = flag.Int("journeys", 0, "sample every Nth request's journey for latency attribution (1 = all, 0 = off)")
+		sloMon     = flag.Bool("slo-monitors", false, "run burn-rate SLO monitors and print their alert states at exit")
+		flightPath = flag.String("flight", "", "dump the flight recorder (anomalous journeys) as JSON to this file")
+		tracePath  = flag.String("flight-trace", "", "dump the flight recorder as a Chrome trace (Perfetto) to this file")
 	)
 	flag.Parse()
 
@@ -174,6 +185,19 @@ func main() {
 		fmt.Printf("chaos: %s — %s\n", s.Name, s.Description)
 	}
 
+	// Flight dumps need sampled journeys; default to full sampling when a
+	// dump was requested but -journeys left off.
+	if (*flightPath != "" || *tracePath != "") && *journeys == 0 {
+		*journeys = 1
+	}
+	if *journeys > 0 || *sloMon {
+		cfg.Obs = &cluster.Observability{
+			SampleEvery: *journeys,
+			Monitors:    *sloMon,
+			FlightCap:   256,
+		}
+	}
+
 	policies := []cluster.Policy{}
 	if *compare {
 		policies = cluster.Policies()
@@ -205,7 +229,8 @@ func main() {
 		if *serve != "" && i == len(policies)-1 {
 			run.Telemetry = telemetry.DefaultHub()
 		}
-		res := cluster.Run(run)
+		f := cluster.New(run)
+		res := f.Run()
 		fmt.Printf("%-18s %8d %8d %8d %8d %6d %9.2f %9.0f %8.1f\n",
 			p, res.Routed, res.Completed, res.Rejected, res.SLOViolations,
 			res.BadRequests(), res.Latency.P95()/1000, res.GoodputRPS(), res.EnergyJ)
@@ -217,6 +242,10 @@ func main() {
 			if res.Gateway != nil {
 				printGatewaySummary(res.Gateway)
 			}
+			if ss := f.SLOStatuses(); len(ss) > 0 {
+				printSLOSummary(ss)
+			}
+			dumpFlight(f.FlightRecorder(), *flightPath, *tracePath)
 		}
 	}
 
@@ -252,6 +281,49 @@ func printGatewaySummary(gs *gateway.Stats) {
 			fmt.Printf("  %-8d %8d %8d %8.1f%%\n", ts.ID, ts.Admitted, ts.Shed, 100*rate)
 		}
 	}
+}
+
+// printSLOSummary renders the burn-rate monitor states — one row per model
+// with its windows' burn, bad fraction, and recent alert transitions.
+func printSLOSummary(ss []telemetry.SLOStatus) {
+	fmt.Printf("\nslo burn-rate monitors\n")
+	fmt.Printf("  %-14s %8s %10s %10s %10s %12s\n",
+		"model", "state", "burn-fast", "burn-slow", "bad", "transitions")
+	for _, s := range ss {
+		fmt.Printf("  %-14s %8s %10.2f %10.2f %5d/%-5d %12d\n",
+			s.Name, s.State, s.BurnFast, s.BurnSlow, s.Bad, s.Total, s.Transitions)
+		for _, tr := range s.History {
+			fmt.Printf("    %8.0fms  %s -> %s\n", float64(tr.AtUs)/1000, tr.From, tr.To)
+		}
+	}
+}
+
+// dumpFlight writes the flight recorder to the requested files.
+func dumpFlight(fl *telemetry.FlightRecorder, jsonPath, tracePath string) {
+	write := func(path string, dump func(w io.Writer) error) {
+		if path == "" {
+			return
+		}
+		w, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer w.Close()
+		if err := dump(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("flight recorder (%d journeys) written to %s\n", fl.Len(), path)
+	}
+	if fl == nil {
+		if jsonPath != "" || tracePath != "" {
+			fmt.Fprintln(os.Stderr, "no flight recording (enable -journeys)")
+		}
+		return
+	}
+	write(jsonPath, fl.WriteJSON)
+	write(tracePath, fl.WriteChromeTrace)
 }
 
 func parseDegrade(s string) (node, gpu int, stretch float64, err error) {

@@ -1,0 +1,134 @@
+// Observability: run the gray-node chaos scenario with full request-journey
+// sampling, per-stage latency attribution, and SLO burn-rate monitoring,
+// then dump the flight recorder — the bounded ring of anomalous journeys —
+// as JSON and as a Chrome trace you can load in Perfetto.
+//
+// The run demonstrates the whole observability stack: journeys are sampled
+// on the routing hot path (counter-based, so the simulation stays
+// byte-identical to an unobserved run), each completed journey telescopes
+// into admit / transit / node-queue / batch-form / kernels / post stages,
+// and the per-model burn-rate monitors page deterministically as the gray
+// node poisons the fleet.
+//
+// Run with:
+//
+//	go run ./examples/observability
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"krisp/internal/cluster"
+	"krisp/internal/cluster/gateway"
+	"krisp/internal/cluster/workload"
+	"krisp/internal/models"
+	"krisp/internal/reconfig"
+	"krisp/internal/sim"
+	"krisp/internal/telemetry"
+)
+
+func main() {
+	scenario, err := cluster.ChaosByName("gray-node")
+	if err != nil {
+		log.Fatal(err)
+	}
+	squeezenet, ok := models.ByName("squeezenet")
+	if !ok {
+		log.Fatal("squeezenet not found")
+	}
+
+	// A three-node fleet held slightly above the capacity that survives the
+	// scenario, fronted by the resilience gateway — the same shape the chaos
+	// acceptance tests use.
+	cfg := cluster.Config{
+		Nodes:       3,
+		GPUsPerNode: 2,
+		Workloads: []cluster.Workload{
+			{Model: squeezenet, Batch: 8, Gen: workload.Constant{RatePerSec: 2600}},
+		},
+		Tick:     2 * sim.Millisecond,
+		Epoch:    50 * sim.Millisecond,
+		Duration: 400 * sim.Millisecond,
+		Seed:     7,
+		Costs: reconfig.Costs{
+			PartitionSetup: 2 * sim.Millisecond,
+			ProcessStart:   3 * sim.Millisecond,
+			ModelLoad:      10 * sim.Millisecond,
+			SwapDowntime:   55 * sim.Microsecond,
+		},
+		Policy:  cluster.SLOAware,
+		Gateway: &gateway.Config{},
+	}
+	scenario.Apply(&cfg)
+	fmt.Printf("scenario: %s — %s\n\n", scenario.Name, scenario.Description)
+
+	// Sample every journey, monitor every model's SLO, keep a generous ring.
+	cfg.Obs = &cluster.Observability{
+		SampleEvery: 1,
+		Monitors:    true,
+		FlightCap:   512,
+	}
+
+	f := cluster.New(cfg)
+	res := f.Run()
+	fmt.Printf("fleet: %d routed, %d completed, %d rejected, %d SLO violations\n\n",
+		res.Routed, res.Completed, res.Rejected, res.SLOViolations)
+
+	// Latency attribution: average stage breakdown over the anomalous
+	// journeys the flight recorder retained.
+	fl := f.FlightRecorder()
+	journeys := fl.Journeys()
+	var sums [telemetry.NumStages]int64
+	var counts [telemetry.NumStages]int64
+	completed := 0
+	for i := range journeys {
+		j := &journeys[i]
+		if j.Outcome != telemetry.JourneyCompleted {
+			continue
+		}
+		completed++
+		for s := 0; s < telemetry.NumStages; s++ {
+			if d := j.StageUs(s); d >= 0 {
+				sums[s] += d
+				counts[s]++
+			}
+		}
+	}
+	fmt.Printf("latency attribution over %d completed anomalous journeys:\n", completed)
+	for s := 0; s < telemetry.NumStages; s++ {
+		if counts[s] == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %8.2f ms avg\n",
+			telemetry.StageNames[s], float64(sums[s])/float64(counts[s])/1000)
+	}
+
+	// SLO burn-rate monitors: the gray node must page its models.
+	fmt.Printf("\nslo burn-rate monitors:\n")
+	for _, s := range f.SLOStatuses() {
+		fmt.Printf("  %-12s %-8s burn fast=%.2f slow=%.2f bad=%d/%d\n",
+			s.Name, s.State, s.BurnFast, s.BurnSlow, s.Bad, s.Total)
+		for _, tr := range s.History {
+			fmt.Printf("    %6.0fms  %s -> %s\n", float64(tr.AtUs)/1000, tr.From, tr.To)
+		}
+	}
+
+	// Dump the flight recorder both ways.
+	dump := func(path string, write func(*os.File) error) {
+		w, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+		if err := write(w); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	fmt.Printf("\nflight recorder: %d retained of %d anomalous journeys\n", fl.Len(), fl.Total())
+	dump("flight.json", func(w *os.File) error { return fl.WriteJSON(w) })
+	dump("flight-trace.json", func(w *os.File) error { return fl.WriteChromeTrace(w) })
+	fmt.Println("load flight-trace.json at https://ui.perfetto.dev to see the journeys")
+}

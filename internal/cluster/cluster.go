@@ -120,6 +120,11 @@ type Config struct {
 	// is independent of gateway entitlement, so a tenant can offer more
 	// than its admitted share and be shed back down.
 	Tenants []workload.TenantShare
+	// Obs, when non-nil, enables the observability layer: sampled request
+	// journeys with per-stage latency attribution, per-model SLO burn-rate
+	// monitors, and the anomalous-journey flight recorder. Nil (or a fully
+	// disabled value) leaves the run byte-identical to a fleet without it.
+	Obs *Observability
 }
 
 // ModelResult is one model's fleet-level outcome.
@@ -210,6 +215,7 @@ type Fleet struct {
 	router  *router
 	scaler  *autoscaler
 	tel     *fleetTelemetry
+	obs     *fleetObserver
 	res     *Result
 
 	handles   []*replicaHandle // live + draining, ascending id
@@ -330,12 +336,13 @@ func New(cfg Config) *Fleet {
 	for i, w := range cfg.Workloads {
 		names[i] = w.Model.Name
 	}
-	tel := newFleetTelemetry(cfg.Telemetry, names, cfg.Nodes)
+	tel := newFleetTelemetry(cfg.Telemetry, names)
 
 	f := &Fleet{
 		cfg:     cfg,
 		planner: planner,
 		tel:     tel,
+		obs:     newFleetObserver(cfg.Obs, cfg.Telemetry, names, len(cfg.Tenants), cfg.Tick),
 		res:     &Result{Policy: cfg.Policy, Duration: cfg.Duration},
 		router:  newRouter(cfg.Policy, cfg.Seed, cfg.OutstandingCap, cfg.QueueCap, tel, cfg.RecordRouting),
 		scaler: &autoscaler{
@@ -344,6 +351,7 @@ func New(cfg Config) *Fleet {
 			headroom: cfg.Headroom,
 		},
 	}
+	f.router.obs = f.obs
 
 	// Per-model router state, with auto-sized SLOs.
 	pre, post := sim.Duration(150), sim.Duration(80)
@@ -422,6 +430,9 @@ func New(cfg Config) *Fleet {
 			reg = cfg.Telemetry.Registry()
 		}
 		f.gw = gateway.New(gcfg, slos, &fleetFabric{f: f}, reg)
+		if tr := cfg.Telemetry.Trace(); tr != nil {
+			f.gw.SetTrace(tr, fleetPid, fleetTidGateway)
+		}
 		f.router.gw = f.gw
 		f.handleByID = make(map[int]*replicaHandle)
 	}
@@ -502,8 +513,22 @@ func (f *Fleet) Run() *Result {
 		}
 	}
 	f.finish()
+	f.obs.finishRun(f.cfg.Duration, f.cfg.Telemetry)
 	return f.res
 }
+
+// FlightRecorder returns the run's anomalous-journey recorder, nil when
+// journey sampling is disabled. Valid after Run.
+func (f *Fleet) FlightRecorder() *telemetry.FlightRecorder {
+	if f.obs == nil {
+		return nil
+	}
+	return f.obs.flight
+}
+
+// SLOStatuses snapshots the per-model burn-rate monitors (empty without
+// Obs.Monitors). Valid after Run.
+func (f *Fleet) SLOStatuses() []telemetry.SLOStatus { return f.obs.statuses() }
 
 // liveHandles returns the handles the placer should diff against.
 func (f *Fleet) liveHandles() []*replicaHandle { return f.handles }
@@ -635,14 +660,17 @@ func (f *Fleet) applyFaults(now sim.Time) {
 				failed := f.gw.OnReplicaDown(h.id, now)
 				f.res.Failed += failed
 				f.tel.cFailed().Add(uint64(failed))
+				f.obs.onReplicaDown(h, now, failed, true)
 			} else {
 				f.res.Failed += h.outstanding
 				f.tel.cFailed().Add(uint64(h.outstanding))
+				f.obs.onReplicaDown(h, now, h.outstanding, false)
 			}
 			h.outstanding = 0
 		}
 		f.res.NodeFaults++
 		f.tel.cNodeFaults().Inc()
+		f.tel.traceFault(now, "node-down", nf.Node)
 		f.tel.gNodesUp().Add(-1)
 	}
 	for _, n := range f.nodes {
@@ -653,6 +681,7 @@ func (f *Fleet) applyFaults(now sim.Time) {
 			if f.hz != nil {
 				f.hz.push(n, nodeWake(n))
 			}
+			f.tel.traceFault(now, "node-up", n.id)
 			f.tel.gNodesUp().Add(1)
 		}
 	}
@@ -823,6 +852,7 @@ func (f *Fleet) mergeRoute(from sim.Time) {
 		m.arrivals++
 		m.rejected++
 		f.tel.cRejected().Inc()
+		f.obs.onShed(m, a.tenant, a.at, from)
 		if f.router.log != nil {
 			f.router.seq++
 			fmt.Fprintf(f.router.log, "%d %s->shed\n", f.router.seq, m.name)
@@ -837,8 +867,10 @@ func (f *Fleet) mergeRoute(from sim.Time) {
 	}
 }
 
-// observe samples fleet gauges once per tick.
+// observe samples fleet gauges once per tick and advances the SLO
+// monitors' windows to the tick clock.
 func (f *Fleet) observe() {
+	f.obs.onTick(f.now)
 	if f.tel == nil {
 		return
 	}
@@ -851,6 +883,11 @@ func (f *Fleet) observe() {
 		}
 		f.tel.setReplicas(m.name, live)
 	}
+	// One aggregated depth observation per node, plus a top-K laggard
+	// ranking (outstanding descending, node id ascending on ties — the
+	// strict > keeps the earlier node ahead when depths are equal).
+	var lagIDs, lagDepths [laggardK]int
+	lagN := 0
 	for _, n := range f.nodes {
 		if !n.up {
 			continue
@@ -860,7 +897,25 @@ func (f *Fleet) observe() {
 			outstanding += h.outstanding
 		}
 		f.tel.observeNode(n.id, outstanding)
+		i := lagN
+		for i > 0 && outstanding > lagDepths[i-1] {
+			i--
+		}
+		if i < laggardK {
+			end := lagN
+			if end == laggardK {
+				end = laggardK - 1
+			}
+			for j := end; j > i; j-- {
+				lagDepths[j], lagIDs[j] = lagDepths[j-1], lagIDs[j-1]
+			}
+			lagDepths[i], lagIDs[i] = outstanding, n.id
+			if lagN < laggardK {
+				lagN++
+			}
+		}
 	}
+	f.tel.setLaggards(&lagIDs, &lagDepths, lagN)
 }
 
 // advance runs every up node to t, concurrently when configured. Nodes

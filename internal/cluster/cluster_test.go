@@ -206,7 +206,9 @@ func TestFleetMetricsExposed(t *testing.T) {
 		"krisp_fleet_completed_total",
 		"krisp_fleet_nodes_up",
 		`krisp_fleet_replicas{model="squeezenet"}`,
-		`krisp_fleet_node_outstanding_bucket{node="0",le="1"}`,
+		`krisp_fleet_node_outstanding_bucket{le="1"}`,
+		`krisp_fleet_node_laggard{rank="0"}`,
+		`krisp_fleet_node_laggard_node{rank="0"}`,
 		"krisp_fleet_node_faults_total 1",
 		"krisp_fleet_nodes_up 2",
 	} {

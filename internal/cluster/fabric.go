@@ -36,6 +36,7 @@ func (fb *fleetFabric) SendCopy(model, replica int, id uint64, arrival sim.Time,
 	}
 	h.outstanding++
 	h.routed++
+	fb.f.obs.onCopy(id, replica, kind)
 	rep := h.rep
 	at := arrival
 	if fb.f.router.mailbox {

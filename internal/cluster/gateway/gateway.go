@@ -294,6 +294,29 @@ type Gateway struct {
 	now   sim.Time
 	tel   *Telemetry
 	stats Stats
+
+	// tr, when set via SetTrace, mirrors gateway control events — hedges,
+	// cancellations, retries, breaker transitions — onto a trace track as
+	// instant events.
+	tr    *telemetry.Tracer
+	trPid int
+	trTid int
+}
+
+// SetTrace points gateway control events at a Chrome-trace track. The
+// gateway only observes through it; decisions are unchanged.
+func (g *Gateway) SetTrace(tr *telemetry.Tracer, pid, tid int) {
+	g.tr = tr
+	g.trPid = pid
+	g.trTid = tid
+}
+
+// traceInstant drops one control event on the trace track (no-op untraced).
+func (g *Gateway) traceInstant(name string, ts sim.Time, replica int) {
+	if g.tr == nil {
+		return
+	}
+	g.tr.Instant("fleet", name, g.trPid, g.trTid, float64(ts), "replica", float64(replica))
 }
 
 // New builds a gateway over the given fabric. models fixes the model index
@@ -478,12 +501,15 @@ func (g *Gateway) AddReplica(replica int) *Breaker {
 		case BreakerOpen:
 			g.stats.BreakerOpens++
 			g.tel.breakerOpen()
+			g.traceInstant("breaker-open", g.now, replica)
 		case BreakerHalfOpen:
 			g.stats.BreakerHalfOpens++
 			g.tel.breakerHalfOpen()
+			g.traceInstant("breaker-half-open", g.now, replica)
 		case BreakerClosed:
 			g.stats.BreakerCloses++
 			g.tel.breakerClose()
+			g.traceInstant("breaker-closed", g.now, replica)
 		}
 	}
 	g.breakers[replica] = b
@@ -561,6 +587,7 @@ func (g *Gateway) HedgeScan(now sim.Time) {
 		t.hedgeSentAt = now
 		g.stats.Hedges++
 		g.tel.hedge()
+		g.traceInstant("hedge", now, r)
 		g.breakers[r].OnSend()
 		g.fabric.SendCopy(int(t.model), r, t.id, t.arrival, CopyHedge)
 	}
@@ -611,6 +638,7 @@ func (g *Gateway) OnCompletion(id uint64, replica int, end, now sim.Time) bool {
 	if loser >= 0 {
 		g.stats.Cancelled++
 		g.tel.cancel()
+		g.traceInstant("hedge-cancel", now, loser)
 		g.fabric.CancelCopy(loser, id)
 	}
 	g.resolve(t)
@@ -673,6 +701,7 @@ func (g *Gateway) retry(t *track, now sim.Time) bool {
 	t.sentAt = now
 	g.stats.Retries++
 	g.tel.retry()
+	g.traceInstant("retry", now, r)
 	g.breakers[r].OnSend()
 	g.fabric.SendCopy(int(t.model), r, t.id, t.arrival, CopyRetry)
 	return true

@@ -186,8 +186,9 @@ func (f *Fleet) settleEvent(horizon sim.Time) bool {
 //   - the autoscaler's next epoch lies beyond this tick;
 //   - every admission queue is empty, so drainQueue has nothing to retry
 //     or shed;
-//   - no gateway (hedge scans fire on elapsed time even without traffic)
-//     and no telemetry (observe samples gauges every tick).
+//   - no gateway (hedge scans fire on elapsed time even without traffic),
+//     no telemetry (observe samples gauges every tick), and no observer
+//     (burn-rate monitors advance their windows every tick).
 //
 // Arrival generation can never be skipped: the workload generators restart
 // their exponential-gap draws from the window start and discard the
@@ -195,7 +196,7 @@ func (f *Fleet) settleEvent(horizon sim.Time) bool {
 // once regardless of scheduler — that is what keeps this mode
 // byte-identical to lockstep.
 func (f *Fleet) canSkipPhases(now sim.Time) bool {
-	if f.dirty || f.gw != nil || f.tel != nil {
+	if f.dirty || f.gw != nil || f.tel != nil || f.obs != nil {
 		return false
 	}
 	if f.faultIdx < len(f.downFaults) && f.downFaults[f.faultIdx].At <= now {

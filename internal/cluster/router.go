@@ -203,6 +203,11 @@ type router struct {
 	models         []*modelState
 	tel            *fleetTelemetry
 
+	// obs, when non-nil, is the request-journey observer. Sends then carry
+	// request identities even without a gateway so completions can be
+	// matched back to their sampled journey records.
+	obs *fleetObserver
+
 	// gw, when non-nil, is the resilience gateway fronting this router:
 	// sends carry request identities, queue sheds report back, and the
 	// deadline oracle tightens queue admission.
@@ -438,6 +443,7 @@ func (r *router) route(m *modelState, arrival sim.Time, now sim.Time, tenant int
 	}
 	m.rejected++
 	r.tel.cRejected().Inc()
+	r.obs.onShed(m, tenant, arrival, now)
 	if r.log != nil {
 		fmt.Fprintf(r.log, "%d %s->reject\n", r.seq, m.name)
 	}
@@ -456,11 +462,15 @@ func (r *router) send(m *modelState, h *replicaHandle, arrival, now sim.Time, te
 	rep := h.rep
 	at := arrival
 	var id uint64
-	if r.gw != nil {
+	if r.gw != nil || r.obs.journeysOn() {
 		r.reqSeq++
 		id = r.reqSeq
+	}
+	if r.gw != nil {
 		r.gw.OnPrimarySend(id, m.index, tenant, h.id, arrival, now)
 	}
+	r.obs.onSend(id, m, h, tenant, arrival, now)
+	r.tel.traceRoute(now, h.id)
 	if r.mailbox {
 		deliver := at
 		if deliver < now {
@@ -470,7 +480,7 @@ func (r *router) send(m *modelState, h *replicaHandle, arrival, now sim.Time, te
 		h.nodeRef.noteMail(deliver)
 		return
 	}
-	if r.gw != nil {
+	if id != 0 {
 		h.nodeRef.node.Schedule(at, func() { rep.SubmitID(at, id) })
 		return
 	}
@@ -495,6 +505,7 @@ func (r *router) drainQueue(m *modelState, now sim.Time) {
 		if infeasible {
 			m.rejected++
 			r.tel.cRejected().Inc()
+			r.obs.onShed(m, q.tenant, q.arrival, now)
 			if r.gw != nil {
 				r.gw.OnQueueShed(m.index, q.tenant)
 			}
@@ -531,8 +542,10 @@ func (r *router) absorb(m *modelState, h *replicaHandle, c server.Completion, no
 	m.completed++
 	m.latency.Add(lat)
 	r.tel.cCompleted().Inc()
-	if lat > m.sloUs {
+	sloViolated := lat > m.sloUs
+	if sloViolated {
 		m.sloViolations++
 		r.tel.cSLO().Inc()
 	}
+	r.obs.onWinner(m, h, c, sloViolated)
 }

@@ -3,8 +3,28 @@ package cluster
 import (
 	"fmt"
 
+	"krisp/internal/sim"
 	"krisp/internal/telemetry"
 )
+
+// fleetPid is the Chrome-trace process id of the fleet control track:
+// router decisions, gateway hedges/breakers, and autoscaler actions land
+// here as instant events, clear of the per-GPU node pids and the journey
+// tracks (journeyPidBase, observe.go).
+const fleetPid = 1 << 20
+
+// Thread ids on the fleet control track.
+const (
+	fleetTidRouter = iota
+	fleetTidGateway
+	fleetTidScaler
+)
+
+// laggardK bounds the per-rank laggard gauges: instead of one histogram
+// per node (unbounded label cardinality as fleets scale), the fleet
+// exports one aggregated depth histogram plus the top-K most-loaded nodes
+// each tick.
+const laggardK = 4
 
 // fleetTelemetry mirrors the fleet controller's counters into the live
 // metrics registry. All fields are nil-safe handles: a nil hub yields a
@@ -23,11 +43,22 @@ type fleetTelemetry struct {
 
 	nodesUp  *telemetry.Gauge
 	replicas map[string]*telemetry.Gauge // per model
-	// queueDepth samples each node's outstanding requests once per tick.
-	queueDepth []*telemetry.Histogram
+	// queueDepth samples every node's outstanding requests once per tick
+	// into one aggregated histogram — per-node histograms scaled metric
+	// cardinality with fleet size for no analytical gain (the per-node
+	// question is "who is the laggard?", answered by the ranked gauges).
+	queueDepth *telemetry.Histogram
+	// laggardDepth[k] / laggardNode[k] export the k-th most-loaded node's
+	// outstanding count and id (-1 when fewer nodes are up than ranks).
+	laggardDepth [laggardK]*telemetry.Gauge
+	laggardNode  [laggardK]*telemetry.Gauge
+
+	// tr mirrors control-plane events onto the fleet trace track when the
+	// hub carries a tracer.
+	tr *telemetry.Tracer
 }
 
-func newFleetTelemetry(hub *telemetry.Hub, modelNames []string, nodes int) *fleetTelemetry {
+func newFleetTelemetry(hub *telemetry.Hub, modelNames []string) *fleetTelemetry {
 	reg := hub.Registry()
 	if reg == nil {
 		return nil
@@ -50,21 +81,74 @@ func newFleetTelemetry(hub *telemetry.Hub, modelNames []string, nodes int) *flee
 			fmt.Sprintf(`krisp_fleet_replicas{model="%s"}`, m),
 			"live replicas per model")
 	}
-	t.queueDepth = make([]*telemetry.Histogram, nodes)
-	for n := range t.queueDepth {
-		t.queueDepth[n] = reg.Histogram(
-			fmt.Sprintf(`krisp_fleet_node_outstanding{node="%d"}`, n),
-			"outstanding requests on the node, sampled per tick",
-			telemetry.QueueDepthBuckets())
+	t.queueDepth = reg.Histogram(
+		"krisp_fleet_node_outstanding",
+		"outstanding requests per node, sampled per tick (all nodes aggregated)",
+		telemetry.QueueDepthBuckets())
+	for k := 0; k < laggardK; k++ {
+		t.laggardDepth[k] = reg.Gauge(
+			fmt.Sprintf(`krisp_fleet_node_laggard{rank="%d"}`, k),
+			"outstanding requests on the k-th most-loaded node this tick")
+		t.laggardNode[k] = reg.Gauge(
+			fmt.Sprintf(`krisp_fleet_node_laggard_node{rank="%d"}`, k),
+			"node id holding the k-th laggard rank this tick (-1 when unranked)")
+	}
+	if t.tr = hub.Trace(); t.tr != nil {
+		t.tr.NameProcess(fleetPid, "fleet")
+		t.tr.NameThread(fleetPid, fleetTidRouter, "router")
+		t.tr.NameThread(fleetPid, fleetTidGateway, "gateway")
+		t.tr.NameThread(fleetPid, fleetTidScaler, "autoscaler")
 	}
 	return t
 }
 
 func (t *fleetTelemetry) observeNode(node int, outstanding int) {
-	if t == nil || node < 0 || node >= len(t.queueDepth) {
+	if t == nil {
 		return
 	}
-	t.queueDepth[node].Observe(float64(outstanding))
+	t.queueDepth.Observe(float64(outstanding))
+}
+
+// setLaggards publishes this tick's top-K node ranking (outstanding
+// descending, node id ascending on ties); n is how many ranks are filled.
+func (t *fleetTelemetry) setLaggards(ids, depths *[laggardK]int, n int) {
+	if t == nil {
+		return
+	}
+	for k := 0; k < laggardK; k++ {
+		if k < n {
+			t.laggardDepth[k].Set(int64(depths[k]))
+			t.laggardNode[k].Set(int64(ids[k]))
+			continue
+		}
+		t.laggardDepth[k].Set(0)
+		t.laggardNode[k].Set(-1)
+	}
+}
+
+// traceRoute drops a route-decision instant on the fleet track.
+func (t *fleetTelemetry) traceRoute(now sim.Time, replica int) {
+	if t == nil || t.tr == nil {
+		return
+	}
+	t.tr.Instant("fleet", "route", fleetPid, fleetTidRouter, float64(now), "replica", float64(replica))
+}
+
+// traceScaler drops an autoscaler action instant (resize/migrate/drain) on
+// the fleet track, tagged with the acting replica's id.
+func (t *fleetTelemetry) traceScaler(now sim.Time, action string, replica int) {
+	if t == nil || t.tr == nil {
+		return
+	}
+	t.tr.Instant("fleet", action, fleetPid, fleetTidScaler, float64(now), "replica", float64(replica))
+}
+
+// traceFault drops a node-fault instant on the fleet track.
+func (t *fleetTelemetry) traceFault(now sim.Time, kind string, node int) {
+	if t == nil || t.tr == nil {
+		return
+	}
+	t.tr.Instant("fleet", kind, fleetPid, fleetTidScaler, float64(now), "node", float64(node))
 }
 
 func (t *fleetTelemetry) setReplicas(model string, n int) {

@@ -39,6 +39,8 @@ func Handler() http.Handler {
 	mux.HandleFunc("GET /v1/chaos", handleChaosList)
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.HandleFunc("GET /debug/telemetry", handleTelemetryDebug)
+	mux.HandleFunc("GET /debug/slo", handleSLO)
+	mux.HandleFunc("GET /debug/flight", handleFlight)
 	return mux
 }
 

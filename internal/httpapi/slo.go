@@ -1,0 +1,43 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"krisp/internal/telemetry"
+)
+
+// handleSLO serves the latest SLO burn-rate monitor snapshots. Fleet runs
+// wired to the default telemetry hub publish their monitor states (burn
+// rates, alert level, transition history) to the process-wide board at run
+// end; an empty array means no monitored run has published yet.
+func handleSLO(w http.ResponseWriter, r *http.Request) {
+	ss := telemetry.DefaultBoard().Snapshot()
+	if ss == nil {
+		ss = []telemetry.SLOStatus{}
+	}
+	writeJSON(w, http.StatusOK, ss)
+}
+
+// handleFlight dumps the flight recorder — the bounded ring of anomalous
+// request journeys (shed, failed, hedged, retried, SLO-violating, or
+// fault-touched) from the last fleet run on the default hub. The default
+// format is JSON with per-stage latency attribution; ?format=trace returns
+// the same journeys as a Chrome trace (load in Perfetto).
+func handleFlight(w http.ResponseWriter, r *http.Request) {
+	fl := telemetry.DefaultFlight()
+	if fl == nil {
+		writeError(w, http.StatusNotFound, "no flight recording published; run a fleet with journey sampling enabled")
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = fl.WriteJSON(w)
+	case "trace":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="flight-trace.json"`)
+		_ = fl.WriteChromeTrace(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or trace)", r.URL.Query().Get("format"))
+	}
+}

@@ -331,6 +331,15 @@ type Completion struct {
 	// ID is the caller-assigned request identity (0 for untracked submits).
 	ID           uint64
 	Arrival, End sim.Time
+	// Stage boundaries for latency attribution: when the copy reached the
+	// replica's queue, when its batch latched, and when the kernel sequence
+	// started and finished. Always stamped (plain value copies of clocks the
+	// lifecycle reads anyway), so sampled request journeys cost the node
+	// side nothing extra.
+	Enqueued    sim.Time
+	BatchStart  sim.Time
+	KernelStart sim.Time
+	KernelEnd   sim.Time
 	// Cancelled marks a copy revoked by Cancel while its batch was already
 	// in flight: the work ran to the batch boundary, but the result must not
 	// count as a served request.
@@ -391,6 +400,11 @@ type Replica struct {
 	preFn    func()
 	seqFn    func()
 	postFn   func()
+	// Batch stage boundaries, latched alongside curBatch and copied into
+	// every completion of the batch.
+	curStart     sim.Time
+	curKernStart sim.Time
+	curKernEnd   sim.Time
 }
 
 // AddReplica creates a replica on the node. The spec's GPU must exist.
@@ -478,9 +492,12 @@ func (r *Replica) Release() {
 // Spec returns the replica's placement spec.
 func (r *Replica) Spec() ReplicaSpec { return r.spec }
 
-// pending is one accepted-but-unfinished request copy.
+// pending is one accepted-but-unfinished request copy. enq is the node
+// clock at enqueue — the boundary between fabric transit and queue wait in
+// the request's stage breakdown.
 type pending struct {
 	arrival   sim.Time
+	enq       sim.Time
 	id        uint64
 	cancelled bool
 }
@@ -501,7 +518,14 @@ func (r *Replica) SubmitID(arrival sim.Time, id uint64) bool {
 	if r.draining || r.killed {
 		return false
 	}
-	r.queue = append(r.queue, pending{arrival: arrival, id: id})
+	// Enqueue stamp: the node clock, floored at the arrival — a caller
+	// submitting ahead of the clock (direct harness use) must not produce a
+	// negative transit stage.
+	enq := r.node.eng.Now()
+	if enq < arrival {
+		enq = arrival
+	}
+	r.queue = append(r.queue, pending{arrival: arrival, enq: enq, id: id})
 	r.maybeStart()
 	return true
 }
@@ -607,6 +631,7 @@ func (r *Replica) maybeStart() {
 	r.queue = r.queue[:copy(r.queue, r.queue[n:])]
 	r.busy = true
 	r.curBatch = n
+	r.curStart = r.node.eng.Now()
 	if r.preFn == nil {
 		r.preFn = r.preDone
 		r.seqFn = r.seqDone
@@ -619,11 +644,13 @@ func (r *Replica) maybeStart() {
 // kernel sequence (the batch may have been killed meanwhile — the work
 // still runs, its completions are suppressed in postDone).
 func (r *Replica) preDone() {
+	r.curKernStart = r.node.eng.Now()
 	r.rt.RunSequence(r.batchKernels(r.curBatch), r.seqFn)
 }
 
 // seqDone fires when the last kernel completes: pay post-processing.
 func (r *Replica) seqDone() {
+	r.curKernEnd = r.node.eng.Now()
 	r.node.eng.After(r.node.cfg.PostprocessUs, r.postFn)
 }
 
@@ -640,6 +667,8 @@ func (r *Replica) postDone() {
 	for _, p := range r.inflight {
 		r.completions = append(r.completions, Completion{
 			ID: p.id, Arrival: p.arrival, End: end, Cancelled: p.cancelled,
+			Enqueued: p.enq, BatchStart: r.curStart,
+			KernelStart: r.curKernStart, KernelEnd: r.curKernEnd,
 		})
 		if !p.cancelled {
 			served++

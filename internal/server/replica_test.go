@@ -308,3 +308,34 @@ func TestReplicaDrainAndKillWithCancelledCopies(t *testing.T) {
 		t.Fatalf("drained replica served %d, want %d", served, want)
 	}
 }
+
+// TestCompletionStageStampsMonotonic: every completion's stage boundaries
+// telescope — arrival <= enqueue <= batch start <= kernel start <= kernel
+// end <= end — so journey stage durations are non-negative and sum to the
+// end-to-end latency.
+func TestCompletionStageStampsMonotonic(t *testing.T) {
+	n := testNode(t, 1)
+	rep := n.AddReplica(ReplicaSpec{Model: squeezenet(t), Batch: 4, CUs: 8})
+	for i := 0; i < 16; i++ {
+		if !rep.Submit(sim.Time(i) * 700) {
+			t.Fatalf("submit %d refused", i)
+		}
+	}
+	n.RunUntil(sim.Second)
+	buf := rep.TakeCompletions(nil)
+	if len(buf) != 16 {
+		t.Fatalf("completions = %d, want 16", len(buf))
+	}
+	for i, c := range buf {
+		stamps := []sim.Time{c.Arrival, c.Enqueued, c.BatchStart, c.KernelStart, c.KernelEnd, c.End}
+		for s := 1; s < len(stamps); s++ {
+			if stamps[s] < stamps[s-1] {
+				t.Fatalf("completion %d: stamp %d (%d) precedes stamp %d (%d): %+v",
+					i, s, int64(stamps[s]), s-1, int64(stamps[s-1]), c)
+			}
+		}
+		if c.KernelEnd <= c.KernelStart {
+			t.Fatalf("completion %d: kernel window empty: %+v", i, c)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import "testing"
+
+// goldenCfg is sized so the transition arithmetic below is hand-checkable:
+// 10ms rollups, a 2-bucket fast window, a 6-bucket slow window, a 10%
+// error budget, and a 30ms de-escalation hold.
+func goldenCfg() BurnConfig {
+	return BurnConfig{
+		Objective:    0.9,
+		WidthUs:      10_000,
+		FastWindowUs: 20_000,
+		SlowWindowUs: 60_000,
+		PageBurn:     5,
+		WarnBurn:     2,
+		ClearHoldUs:  30_000,
+		MinCount:     1,
+	}
+}
+
+// TestBurnGoldenWindows drives one request per millisecond — all good
+// before t=60ms, all bad from 60ms to 90ms, all good after — and pins the
+// exact advance at which each transition fires.
+//
+// Hand check (budget 0.1, one request per bucket-millisecond):
+//
+//	advance(70ms): fast = [50,70)ms = 10 good + 10 bad -> burn 5;
+//	               slow = [10,70)ms = 50 good + 10 bad -> burn 1.67 < warn
+//	               -> still ok (the fast cliff alone must not page)
+//	advance(80ms): fast = 20 bad/20 -> burn 10; slow = 20 bad/60 -> 3.33
+//	               -> warning (both windows >= 2, slow < 5)
+//	advance(90ms): slow = 30 bad/60 -> burn 5 -> page
+//
+// Recovery (all good from 90ms): slow stays at burn 5 through advance(100ms)
+// (target still page), drops the target to ok at 110ms; the 30ms hold then
+// steps page->warning at 140ms and warning->ok at 170ms.
+func TestBurnGoldenWindows(t *testing.T) {
+	m := NewBurnMonitor("golden", goldenCfg())
+
+	want := map[int64]AlertState{
+		10_000: AlertOK, 60_000: AlertOK, 70_000: AlertOK,
+		80_000: AlertWarning, 90_000: AlertPage,
+		100_000: AlertPage, 110_000: AlertPage, 130_000: AlertPage,
+		140_000: AlertWarning, 160_000: AlertWarning,
+		170_000: AlertOK,
+	}
+	for ts := int64(0); ts < 170_000; ts += 1000 {
+		bad := ts >= 60_000 && ts < 90_000
+		m.Observe(ts, bad)
+		if next := ts + 1000; next%10_000 == 0 {
+			m.Advance(next)
+			if exp, ok := want[next]; ok && m.State() != exp {
+				t.Fatalf("at %dus: state %v, want %v (fast %.2f, slow %.2f)",
+					next, m.State(), exp, m.Status().BurnFast, m.Status().BurnSlow)
+			}
+		}
+	}
+	// ok -> warning -> page -> warning -> ok.
+	if got := m.Transitions(); got != 4 {
+		t.Fatalf("transitions = %d, want 4", got)
+	}
+	st := m.Status()
+	if st.Total != 170 || st.Bad != 30 {
+		t.Fatalf("status totals = %d/%d, want 170/30", st.Bad, st.Total)
+	}
+}
+
+// TestBurnHysteresisNoFlapping: once the monitor warns, an oscillating
+// signal whose clean phases are shorter than ClearHoldUs must never
+// de-escalate — each clean bucket resets nothing, each hot bucket resets
+// the hold. Exactly one transition over the whole run.
+func TestBurnHysteresisNoFlapping(t *testing.T) {
+	m := NewBurnMonitor("flap", BurnConfig{
+		Objective:    0.9,
+		WidthUs:      10_000,
+		FastWindowUs: 10_000, // single-bucket fast window: maximally twitchy
+		SlowWindowUs: 40_000,
+		PageBurn:     10,
+		WarnBurn:     2,
+		ClearHoldUs:  40_000, // longer than the 20ms oscillation period
+		MinCount:     1,
+	})
+
+	// After a clean 40ms warm-up (so the slow window starts with history),
+	// alternate all-bad and all-clean 10ms buckets: the fast burn swings
+	// 10 -> 0 -> 10 while the slow window holds near 5.
+	warnedAt := int64(-1)
+	for ts := int64(0); ts < 400_000; ts += 1000 {
+		bad := ts >= 40_000 && ((ts-40_000)/10_000)%2 == 0
+		m.Observe(ts, bad)
+		if next := ts + 1000; next%10_000 == 0 {
+			m.Advance(next)
+			if m.State() == AlertWarning && warnedAt < 0 {
+				warnedAt = next
+			}
+			if warnedAt >= 0 && m.State() != AlertWarning {
+				t.Fatalf("at %dus: state %v after warning at %dus — flapped", next, m.State(), warnedAt)
+			}
+		}
+	}
+	if warnedAt < 0 {
+		t.Fatal("monitor never reached warning")
+	}
+	if got := m.Transitions(); got != 1 {
+		t.Fatalf("transitions = %d, want exactly 1 (no flapping)", got)
+	}
+}
+
+// TestBurnMinCountGatesEscalation: a single early failure on an otherwise
+// idle fleet must not page.
+func TestBurnMinCountGatesEscalation(t *testing.T) {
+	cfg := goldenCfg()
+	cfg.MinCount = 10
+	m := NewBurnMonitor("quiet", cfg)
+	m.Observe(1000, true)
+	m.Advance(10_000)
+	if m.State() != AlertOK {
+		t.Fatalf("one bad request below MinCount paged: %v", m.State())
+	}
+}
+
+func TestBurnGaugesBound(t *testing.T) {
+	reg := New()
+	m := NewBurnMonitor("squeezenet", goldenCfg())
+	m.Bind(reg)
+	for ts := int64(0); ts < 60_000; ts += 1000 {
+		m.Observe(ts, true)
+	}
+	m.Advance(60_000)
+	if got := reg.Gauge(`krisp_slo_burn_fast_milli{model="squeezenet"}`, "").Value(); got != 10_000 {
+		t.Fatalf("fast burn gauge = %d, want 10000 (burn 10 x 1000)", got)
+	}
+	if got := reg.Gauge(`krisp_slo_burn_state{model="squeezenet"}`, "").Value(); got != int64(AlertPage) {
+		t.Fatalf("state gauge = %d, want %d", got, AlertPage)
+	}
+}
+
+func TestBurnObserveAdvanceZeroAlloc(t *testing.T) {
+	m := NewBurnMonitor("alloc", goldenCfg())
+	m.Bind(New())
+	ts := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Observe(ts, ts%7 == 0)
+		if ts%10_000 == 0 {
+			m.Advance(ts)
+		}
+		ts += 137
+	})
+	if allocs != 0 {
+		t.Fatalf("BurnMonitor Observe/Advance allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSLOBoardPublishSnapshot(t *testing.T) {
+	b := &SLOBoard{}
+	b.Publish([]SLOStatus{{Name: "m0", State: "page"}})
+	got := b.Snapshot()
+	if len(got) != 1 || got[0].Name != "m0" || got[0].State != "page" {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}

@@ -1,0 +1,316 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// journey.go holds the per-request journey record: a sampled span of one
+// request's life through the fleet, stamped at every stage boundary so the
+// end-to-end latency decomposes exactly into stage durations. Journeys are
+// pooled (single-goroutine free list on the fleet coordinator) so a
+// steady-state sampled run allocates only up to its in-flight high-water
+// mark, and anomalous journeys are retained in a bounded FlightRecorder
+// ring for post-hoc "why was this request slow" forensics.
+
+// Journey stages, in request order. Stage s spans T[s] → T[s+1]; the
+// boundaries telescope, so the sum of all stage durations equals the
+// end-to-end latency.
+const (
+	StageAdmit     = iota // arrival → router send: admission, rate-limit and router-queue wait
+	StageTransit          // send → node enqueue: fabric/mailbox transit
+	StageNodeQueue        // enqueue → batch start: node queue wait
+	StageBatchForm        // batch start → kernel start: batch formation / preprocess
+	StageKernels          // kernel start → kernel end: the KRISP-partitioned kernels
+	StagePost             // kernel end → completion: postprocess and result return
+	NumStages
+)
+
+// StageNames maps stage indices to their metric/trace names.
+var StageNames = [NumStages]string{
+	"admit", "transit", "node_queue", "batch_form", "kernels", "post",
+}
+
+// Journey outcomes.
+const (
+	JourneyInFlight = iota
+	JourneyCompleted
+	JourneyShed
+	JourneyFailed
+)
+
+func outcomeName(o int) string {
+	switch o {
+	case JourneyInFlight:
+		return "in-flight"
+	case JourneyCompleted:
+		return "completed"
+	case JourneyShed:
+		return "shed"
+	case JourneyFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Journey is one sampled request's stage-boundary record. T holds the
+// NumStages+1 boundary timestamps in virtual microseconds (-1 when a
+// boundary was never reached — shed journeys stop at T[1]). All fields are
+// plain values so the FlightRecorder can retain copies after the pooled
+// record is recycled.
+type Journey struct {
+	ID           uint64
+	Model        int
+	Tenant       int
+	Replica      int
+	ModelName    string
+	Outcome      int
+	Hedged       bool
+	Retried      bool
+	SLOViolated  bool
+	FaultTouched bool
+	T            [NumStages + 1]int64
+}
+
+// reset clears the record for pool reuse.
+func (j *Journey) reset() {
+	*j = Journey{}
+	for i := range j.T {
+		j.T[i] = -1
+	}
+}
+
+// StageUs returns stage s's duration, or -1 when either boundary is
+// missing.
+func (j *Journey) StageUs(s int) int64 {
+	if s < 0 || s >= NumStages || j.T[s] < 0 || j.T[s+1] < 0 {
+		return -1
+	}
+	return j.T[s+1] - j.T[s]
+}
+
+// LatencyUs returns the end-to-end latency from arrival to the last stamped
+// boundary (0 when only the arrival is known).
+func (j *Journey) LatencyUs() int64 {
+	for s := NumStages; s > 0; s-- {
+		if j.T[s] >= 0 {
+			return j.T[s] - j.T[0]
+		}
+	}
+	return 0
+}
+
+// Anomalous reports whether the journey belongs in the flight recorder:
+// shed, failed, hedged, retried, SLO-violating, or fault-touched.
+func (j *Journey) Anomalous() bool {
+	return j.Outcome == JourneyShed || j.Outcome == JourneyFailed ||
+		j.Hedged || j.Retried || j.SLOViolated || j.FaultTouched
+}
+
+// JourneyPool is a free list of journey records. It is intentionally NOT
+// concurrency-safe: the fleet observer owns it on the coordinator
+// goroutine, and a sync.Pool would trade that certainty for GC-coupled
+// reuse. Allocation is bounded by the in-flight sampled high-water mark.
+type JourneyPool struct {
+	free      []*Journey
+	allocated int
+}
+
+// Get returns a reset record, reusing a pooled one when available.
+func (p *JourneyPool) Get() *Journey {
+	var j *Journey
+	if n := len(p.free); n > 0 {
+		j = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		j = new(Journey)
+		p.allocated++
+	}
+	j.reset()
+	return j
+}
+
+// Put returns a record to the free list.
+func (p *JourneyPool) Put(j *Journey) {
+	if j != nil {
+		p.free = append(p.free, j)
+	}
+}
+
+// Allocated returns how many records were ever heap-allocated — the
+// in-flight high-water mark, not the sample count.
+func (p *JourneyPool) Allocated() int { return p.allocated }
+
+// FlightRecorder retains value copies of the most recent anomalous journeys
+// in a fixed ring, overwriting the oldest on overflow. Recording copies the
+// journey, so pooled records stay recyclable. Methods are concurrency-safe
+// (a scrape may race the recording run) and nil-receiver safe.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []Journey
+	next  int
+	n     int
+	total uint64
+}
+
+// NewFlightRecorder creates a recorder keeping the last cap journeys
+// (64 when cap <= 0).
+func NewFlightRecorder(cap int) *FlightRecorder {
+	if cap <= 0 {
+		cap = 64
+	}
+	return &FlightRecorder{ring: make([]Journey, cap)}
+}
+
+// Record copies j into the ring. Nil-safe.
+func (f *FlightRecorder) Record(j *Journey) {
+	if f == nil || j == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = *j
+	f.next = (f.next + 1) % len(f.ring)
+	if f.n < len(f.ring) {
+		f.n++
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Len returns how many journeys the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Total returns how many journeys were ever recorded (including evicted).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Journeys returns the retained journeys, oldest first.
+func (f *FlightRecorder) Journeys() []Journey {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Journey, 0, f.n)
+	start := f.next - f.n
+	for i := 0; i < f.n; i++ {
+		out = append(out, f.ring[(start+i+len(f.ring))%len(f.ring)])
+	}
+	return out
+}
+
+// journeyJSON is the export shape: stage durations by name, flags, and the
+// raw boundaries for tools that want them.
+type journeyJSON struct {
+	ID           uint64           `json:"id"`
+	Model        string           `json:"model"`
+	Tenant       int              `json:"tenant"`
+	Replica      int              `json:"replica"`
+	Outcome      string           `json:"outcome"`
+	Hedged       bool             `json:"hedged,omitempty"`
+	Retried      bool             `json:"retried,omitempty"`
+	SLOViolated  bool             `json:"slo_violated,omitempty"`
+	FaultTouched bool             `json:"fault_touched,omitempty"`
+	ArrivalUs    int64            `json:"arrival_us"`
+	LatencyUs    int64            `json:"latency_us"`
+	Stages       map[string]int64 `json:"stages"`
+}
+
+func exportJourney(j *Journey) journeyJSON {
+	out := journeyJSON{
+		ID: j.ID, Model: j.ModelName, Tenant: j.Tenant, Replica: j.Replica,
+		Outcome: outcomeName(j.Outcome), Hedged: j.Hedged, Retried: j.Retried,
+		SLOViolated: j.SLOViolated, FaultTouched: j.FaultTouched,
+		ArrivalUs: j.T[0], LatencyUs: j.LatencyUs(),
+		Stages: make(map[string]int64),
+	}
+	for s := 0; s < NumStages; s++ {
+		if d := j.StageUs(s); d >= 0 {
+			out.Stages[StageNames[s]] = d
+		}
+	}
+	return out
+}
+
+// WriteJSON dumps the retained journeys (oldest first) as a JSON document.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	journeys := f.Journeys()
+	out := struct {
+		Retained int           `json:"retained"`
+		Total    uint64        `json:"total"`
+		Journeys []journeyJSON `json:"journeys"`
+	}{Retained: len(journeys), Total: f.Total(), Journeys: make([]journeyJSON, 0, len(journeys))}
+	for i := range journeys {
+		out.Journeys = append(out.Journeys, exportJourney(&journeys[i]))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteChromeTrace renders the retained journeys as Chrome trace-event
+// JSON: one process per tenant, one thread per ring slot (so overlapping
+// journeys land on separate lines), one span per completed stage, and an
+// instant marking the outcome of journeys that never finished a stage.
+func (f *FlightRecorder) WriteChromeTrace(w io.Writer) error {
+	journeys := f.Journeys()
+	tr := NewTracer()
+	for slot := range journeys {
+		j := &journeys[slot]
+		pid := j.Tenant
+		tr.NameProcess(pid, fmt.Sprintf("tenant %d", j.Tenant))
+		tr.NameThread(pid, slot, fmt.Sprintf("journey %d (%s)", j.ID, j.ModelName))
+		emitted := false
+		for s := 0; s < NumStages; s++ {
+			if j.T[s] >= 0 && j.T[s+1] >= 0 {
+				tr.SpanArg("journey", StageNames[s], pid, slot,
+					float64(j.T[s]), float64(j.T[s+1]), "id", float64(j.ID))
+				emitted = true
+			}
+		}
+		if j.Outcome != JourneyCompleted || !emitted {
+			ts := j.T[0]
+			if last := j.T[0] + j.LatencyUs(); last > ts {
+				ts = last
+			}
+			tr.Instant("journey", outcomeName(j.Outcome), pid, slot, float64(ts), "id", float64(j.ID))
+		}
+	}
+	return tr.WriteChromeTrace(w)
+}
+
+var (
+	defaultFlightMu sync.RWMutex
+	defaultFlight   *FlightRecorder
+)
+
+// SetDefaultFlight installs the process-wide flight recorder served by
+// /debug/flight — fleets wired to the default telemetry hub call this.
+func SetDefaultFlight(f *FlightRecorder) {
+	defaultFlightMu.Lock()
+	defaultFlight = f
+	defaultFlightMu.Unlock()
+}
+
+// DefaultFlight returns the process-wide flight recorder (may be nil).
+func DefaultFlight() *FlightRecorder {
+	defaultFlightMu.RLock()
+	defer defaultFlightMu.RUnlock()
+	return defaultFlight
+}

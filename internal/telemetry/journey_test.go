@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func stampedJourney(id uint64) *Journey {
+	j := &Journey{ID: id, Model: 0, ModelName: "squeezenet", Outcome: JourneyCompleted}
+	// Telescoping boundaries: 100 -> 150 -> 180 -> 400 -> 450 -> 900 -> 950.
+	j.T = [NumStages + 1]int64{100, 150, 180, 400, 450, 900, 950}
+	return j
+}
+
+func TestJourneyStageSumTelescopes(t *testing.T) {
+	j := stampedJourney(1)
+	var sum int64
+	for s := 0; s < NumStages; s++ {
+		d := j.StageUs(s)
+		if d < 0 {
+			t.Fatalf("stage %s missing", StageNames[s])
+		}
+		sum += d
+	}
+	if sum != j.LatencyUs() {
+		t.Fatalf("stage sum %d != end-to-end latency %d", sum, j.LatencyUs())
+	}
+	if j.LatencyUs() != 850 {
+		t.Fatalf("latency = %d, want 850", j.LatencyUs())
+	}
+}
+
+func TestJourneyPartialStages(t *testing.T) {
+	var j Journey
+	j.reset()
+	j.T[0], j.T[1] = 100, 250 // shed at the router: only admit is stamped
+	j.Outcome = JourneyShed
+	if d := j.StageUs(StageAdmit); d != 150 {
+		t.Fatalf("admit = %d, want 150", d)
+	}
+	if d := j.StageUs(StageTransit); d != -1 {
+		t.Fatalf("transit = %d, want -1 (never reached)", d)
+	}
+	if j.LatencyUs() != 150 {
+		t.Fatalf("latency = %d, want 150", j.LatencyUs())
+	}
+	if !j.Anomalous() {
+		t.Fatal("shed journey not anomalous")
+	}
+}
+
+func TestJourneyPoolReuses(t *testing.T) {
+	var p JourneyPool
+	a := p.Get()
+	a.ID = 7
+	a.T[3] = 123
+	p.Put(a)
+	b := p.Get()
+	if a != b {
+		t.Fatal("pool did not reuse the freed record")
+	}
+	if b.ID != 0 || b.T[3] != -1 {
+		t.Fatalf("reused record not reset: id=%d T3=%d", b.ID, b.T[3])
+	}
+	c := p.Get()
+	if c == b {
+		t.Fatal("pool handed out the same record twice")
+	}
+	if p.Allocated() != 2 {
+		t.Fatalf("allocated = %d, want 2", p.Allocated())
+	}
+}
+
+func TestFlightRecorderEviction(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for id := uint64(1); id <= 6; id++ {
+		f.Record(stampedJourney(id))
+	}
+	if f.Len() != 4 || f.Total() != 6 {
+		t.Fatalf("len=%d total=%d, want 4, 6", f.Len(), f.Total())
+	}
+	got := f.Journeys()
+	for i, want := range []uint64{3, 4, 5, 6} {
+		if got[i].ID != want {
+			t.Fatalf("journeys[%d].ID = %d, want %d (oldest-first, oldest evicted)", i, got[i].ID, want)
+		}
+	}
+}
+
+func TestFlightRecorderWriteJSON(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(stampedJourney(42))
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Retained int    `json:"retained"`
+		Total    uint64 `json:"total"`
+		Journeys []struct {
+			ID        uint64           `json:"id"`
+			LatencyUs int64            `json:"latency_us"`
+			Stages    map[string]int64 `json:"stages"`
+		} `json:"journeys"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.Retained != 1 || len(out.Journeys) != 1 {
+		t.Fatalf("retained=%d journeys=%d", out.Retained, len(out.Journeys))
+	}
+	j := out.Journeys[0]
+	if j.ID != 42 || j.LatencyUs != 850 {
+		t.Fatalf("journey = %+v", j)
+	}
+	var sum int64
+	for _, d := range j.Stages {
+		sum += d
+	}
+	if sum != j.LatencyUs {
+		t.Fatalf("exported stages sum %d != latency %d", sum, j.LatencyUs)
+	}
+}
+
+func TestFlightRecorderWriteChromeTrace(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(stampedJourney(1))
+	shed := &Journey{ID: 2, Tenant: 1, ModelName: "mobilenet", Outcome: JourneyShed}
+	shed.T = [NumStages + 1]int64{100, 250, -1, -1, -1, -1, -1}
+	f.Record(shed)
+
+	var buf bytes.Buffer
+	if err := f.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid Chrome trace: %v\n%s", err, buf.String())
+	}
+	spans, instants := 0, 0
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if spans != NumStages+1 { // 6 stages for the complete journey + admit for the shed one
+		t.Fatalf("spans = %d, want %d", spans, NumStages+1)
+	}
+	if instants != 1 { // the shed marker
+		t.Fatalf("instants = %d, want 1", instants)
+	}
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import "testing"
+
+func TestSeriesRollup(t *testing.T) {
+	s := NewSeries(1000, 4)
+	s.Observe(0, 1, false)
+	s.Observe(500, 2, true)
+	s.Observe(999, 3, false)
+	s.Observe(1500, 4, true)
+
+	count, bad, sum := s.WindowStats(1999, 1000)
+	// The window (999, 1999] partially overlaps bucket [0,1000), which
+	// counts in full: rollup granularity is the bucket width.
+	if count != 4 || bad != 2 || sum != 10 {
+		t.Fatalf("window stats = (%d, %d, %g), want (4, 2, 10)", count, bad, sum)
+	}
+
+	count, bad, sum = s.WindowStats(3999, 4000)
+	if count != 4 || bad != 2 || sum != 10 {
+		t.Fatalf("full-span stats = (%d, %d, %g), want (4, 2, 10)", count, bad, sum)
+	}
+}
+
+func TestSeriesEviction(t *testing.T) {
+	s := NewSeries(1000, 3)
+	s.Observe(0, 1, true)
+	s.Observe(1000, 1, false)
+	s.Observe(2000, 1, false)
+	// Advancing into window 3 overwrites window 0's bucket.
+	s.Observe(3000, 1, false)
+	count, bad, _ := s.WindowStats(3999, 4000)
+	if count != 3 || bad != 0 {
+		t.Fatalf("after eviction: count=%d bad=%d, want 3, 0", count, bad)
+	}
+	// An observation older than the ring's reach is dropped.
+	s.Observe(0, 1, true)
+	count, bad, _ = s.WindowStats(3999, 4000)
+	if count != 3 || bad != 0 {
+		t.Fatalf("stale observe landed: count=%d bad=%d, want 3, 0", count, bad)
+	}
+}
+
+func TestSeriesHeadJumpResetsRing(t *testing.T) {
+	s := NewSeries(1000, 3)
+	s.Observe(0, 1, true)
+	s.Observe(1000, 1, true)
+	// Jump far past the whole ring: every old bucket must be gone.
+	s.Observe(100_000, 1, false)
+	count, bad, _ := s.WindowStats(100_999, 101_000)
+	if count != 1 || bad != 0 {
+		t.Fatalf("after jump: count=%d bad=%d, want 1, 0", count, bad)
+	}
+}
+
+func TestSeriesObserveZeroAlloc(t *testing.T) {
+	s := NewSeries(1000, 8)
+	ts := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Observe(ts, 1, ts%3 == 0)
+		ts += 137
+	})
+	if allocs != 0 {
+		t.Fatalf("Series.Observe allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSeriesObserve(b *testing.B) {
+	s := NewSeries(1000, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(int64(i)*7, 1, i%5 == 0)
+	}
+}
