@@ -12,6 +12,8 @@
 //	krisp-cluster -journeys 100 -slo-monitors
 //	krisp-cluster -chaos gray-node -flight flight.json -flight-trace flight-trace.json
 //	krisp-cluster -serve :8080   (fleet metrics stay up on /metrics)
+//	krisp-cluster -llm llm-small -llm-rate 300
+//	krisp-cluster -llm llm-small -llm-disagg -llm-perphase -models ""
 //
 // Each listed model is served with a diurnal rate profile sweeping
 // trough = rate/4 up to peak = rate over the run. Faults are injected
@@ -25,6 +27,16 @@
 // attribution; -slo-monitors runs burn-rate alerting and prints the monitor
 // table at exit; -flight / -flight-trace dump the anomalous-journey ring as
 // JSON or a Chrome trace (both imply -journeys 1 unless set).
+//
+// -llm adds an autoregressive serving workload (llm-small or llm-large)
+// at -llm-rate sequences/second under continuous batching; -llm-disagg
+// splits the fleet into prefill and decode replicas with KV-cache handoff
+// between them, and -llm-perphase right-sizes each phase's partition
+// independently (without it, disaggregated replicas all run at the shared
+// phase-blind size). Prompt and output lengths draw uniformly from
+// -llm-prompt / -llm-output min:max ranges. Pass -models "" to serve the
+// LLM workload alone. LLM workloads bypass the gateway, so -llm cannot be
+// combined with -gateway, -chaos, or -tenants.
 package main
 
 import (
@@ -41,6 +53,7 @@ import (
 	"krisp/internal/cluster/workload"
 	"krisp/internal/faults"
 	"krisp/internal/httpapi"
+	"krisp/internal/llm"
 	"krisp/internal/models"
 	"krisp/internal/reconfig"
 	"krisp/internal/sim"
@@ -74,6 +87,13 @@ func main() {
 		sloMon     = flag.Bool("slo-monitors", false, "run burn-rate SLO monitors and print their alert states at exit")
 		flightPath = flag.String("flight", "", "dump the flight recorder (anomalous journeys) as JSON to this file")
 		tracePath  = flag.String("flight-trace", "", "dump the flight recorder as a Chrome trace (Perfetto) to this file")
+		llmName    = flag.String("llm", "", "add an autoregressive LLM workload: llm-small|llm-large (empty = off)")
+		llmRate    = flag.Float64("llm-rate", 300, "LLM sequence arrival rate (seq/s, constant)")
+		llmDisagg  = flag.Bool("llm-disagg", false, "disaggregate the LLM fleet into prefill and decode replicas with KV handoff")
+		llmPhase   = flag.Bool("llm-perphase", false, "right-size prefill and decode partitions independently (vs one shared size)")
+		llmSeqs    = flag.Int("llm-maxseqs", 8, "continuous-batch width per LLM replica")
+		llmPrompt  = flag.String("llm-prompt", "64:192", "LLM prompt-length range min:max (tokens)")
+		llmOutput  = flag.String("llm-output", "16:48", "LLM output-length range min:max (tokens)")
 	)
 	flag.Parse()
 
@@ -86,7 +106,11 @@ func main() {
 
 	var workloads []cluster.Workload
 	for _, name := range strings.Split(*modelList, ",") {
-		m, ok := models.ByName(strings.TrimSpace(name))
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, ok := models.ByName(name)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown model %q; available: %v\n", name, models.Names())
 			os.Exit(2)
@@ -100,6 +124,44 @@ func main() {
 				Period: sim.Duration(*durationMs) * sim.Millisecond,
 			},
 		})
+	}
+	if *llmName != "" {
+		if *useGateway || *chaosName != "" || *tenants > 1 {
+			fmt.Fprintln(os.Stderr, "-llm workloads bypass the gateway; drop -gateway/-chaos/-tenants")
+			os.Exit(2)
+		}
+		lm, ok := llm.ByName(*llmName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown LLM model %q; available: llm-small, llm-large\n", *llmName)
+			os.Exit(2)
+		}
+		pMin, pMax, err := parseRange(*llmPrompt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		oMin, oMax, err := parseRange(*llmOutput)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		workloads = append(workloads, cluster.Workload{
+			Gen: workload.Constant{RatePerSec: *llmRate},
+			LLM: &cluster.LLMWorkload{
+				Model:   lm,
+				MaxSeqs: *llmSeqs,
+				Lengths: workload.LengthDist{
+					PromptMin: pMin, PromptMax: pMax,
+					OutputMin: oMin, OutputMax: oMax,
+				},
+				Disaggregate: *llmDisagg,
+				PerPhase:     *llmPhase,
+			},
+		})
+	}
+	if len(workloads) == 0 {
+		fmt.Fprintln(os.Stderr, "no workloads: give -models and/or -llm")
+		os.Exit(2)
 	}
 
 	var nodeFaults []faults.NodeFault
@@ -235,6 +297,10 @@ func main() {
 			p, res.Routed, res.Completed, res.Rejected, res.SLOViolations,
 			res.BadRequests(), res.Latency.P95()/1000, res.GoodputRPS(), res.EnergyJ)
 		if i == len(policies)-1 {
+			if *llmName != "" {
+				fmt.Printf("\nllm serving:     %d tokens, %d KV handoffs (%.1f ms transfer), %d preemptions\n",
+					res.TokensOut, res.KVHandoffs, float64(res.KVHandoffUs)/1000, res.Preemptions)
+			}
 			fmt.Printf("\nplacement churn: %d migrations, %d resizes, %d drains, %d node faults\n",
 				res.Migrations, res.Resizes, res.Drains, res.NodeFaults)
 			fmt.Printf("reconfig bill:   process-scoped %.1f ms vs kernel-scoped %.1f ms\n",
@@ -324,6 +390,19 @@ func dumpFlight(fl *telemetry.FlightRecorder, jsonPath, tracePath string) {
 	}
 	write(jsonPath, fl.WriteJSON)
 	write(tracePath, fl.WriteChromeTrace)
+}
+
+func parseRange(s string) (min, max int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad range %q, want min:max", s)
+	}
+	min, e1 := strconv.Atoi(parts[0])
+	max, e2 := strconv.Atoi(parts[1])
+	if e1 != nil || e2 != nil || min < 1 || max < min {
+		return 0, 0, fmt.Errorf("bad range %q, want 1 <= min <= max", s)
+	}
+	return min, max, nil
 }
 
 func parseDegrade(s string) (node, gpu int, stretch float64, err error) {

@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"math"
+
 	"krisp/internal/cluster/workload"
 	"krisp/internal/sched"
+	"krisp/internal/server"
 	"krisp/internal/sim"
 )
 
@@ -32,13 +35,19 @@ func (a *autoscaler) maybeReplan(f *Fleet, now sim.Time) {
 	// would predict from history; the simulation forecasts from the
 	// generator itself, which isolates placement behaviour from predictor
 	// quality.
-	demands := make([]sched.Demand, len(f.cfg.Workloads))
+	demands := make([]sched.Demand, 0, len(f.cfg.Workloads))
+	var llmInsts []llmInst
 	for i, w := range f.cfg.Workloads {
-		demands[i] = sched.Demand{
+		rate := a.headroom * workload.MeanRate(w.Gen, now, now+a.epoch)
+		if lm := f.router.models[i].llm; lm != nil {
+			llmInsts = appendLLMInsts(llmInsts, w.Model.Name, lm, rate)
+			continue
+		}
+		demands = append(demands, sched.Demand{
 			Model:      w.Model,
 			Batch:      w.Batch,
-			RatePerSec: a.headroom * workload.MeanRate(w.Gen, now, now+a.epoch),
-		}
+			RatePerSec: rate,
+		})
 	}
 
 	// Slots are interleaved gpu-major (node0/gpu0, node1/gpu0, ..., then
@@ -60,7 +69,7 @@ func (a *autoscaler) maybeReplan(f *Fleet, now sim.Time) {
 		}
 	}
 
-	targets, unplaced := a.placer.place(demands, slots)
+	targets, unplaced := a.placer.place(demands, llmInsts, slots)
 	f.res.Unplaced += unplaced
 
 	acts := diff(f.liveHandles(), targets)
@@ -95,4 +104,42 @@ func (a *autoscaler) maybeReplan(f *Fleet, now sim.Time) {
 		f.tel.cDrains().Inc()
 		f.tel.traceScaler(now, "drain", h.id)
 	}
+}
+
+// appendLLMInsts expands one LLM workload's forecast into pre-sized
+// gpulets. Disaggregated fleets split into prefill instances (sized by
+// prefill throughput) and decode instances (sized by token throughput),
+// each at its phase's right-sized partition when PerPhase is set — the
+// per-phase knees differ by 5x or more, so decode replicas pack several
+// per GPU where a shared size allows one. Mixed fleets run both phases in
+// every replica and are sized by full-sequence turnaround.
+func appendLLMInsts(insts []llmInst, model string, lm *llmModelState, rate float64) []llmInst {
+	sz := lm.sizing
+	batch := lm.spec.MaxSeqs
+	if lm.spec.Disaggregate {
+		pcus, dcus := sz.SharedCUs, sz.SharedCUs
+		if lm.spec.PerPhase {
+			pcus, dcus = sz.PrefillCUs, sz.DecodeCUs
+		}
+		pre, dec := sz.Instances(rate, lm.meanOutput)
+		for i := 0; i < pre; i++ {
+			insts = append(insts, llmInst{model: model, batch: batch, cus: pcus, role: server.LLMRolePrefill})
+		}
+		for i := 0; i < dec; i++ {
+			insts = append(insts, llmInst{model: model, batch: batch, cus: dcus, role: server.LLMRoleDecode})
+		}
+		return insts
+	}
+	seqUs := float64(sz.PrefillLatency) + float64(lm.meanOutput)*float64(sz.DecodeStepLatency)
+	n := 1
+	if rate > 0 && seqUs > 0 {
+		seqPS := float64(batch) * 1e6 / seqUs
+		if n = int(math.Ceil(rate / seqPS)); n < 1 {
+			n = 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		insts = append(insts, llmInst{model: model, batch: batch, cus: sz.SharedCUs})
+	}
+	return insts
 }

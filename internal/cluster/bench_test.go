@@ -6,6 +6,7 @@ import (
 
 	"krisp/internal/cluster/gateway"
 	"krisp/internal/cluster/workload"
+	"krisp/internal/llm"
 	"krisp/internal/models"
 	"krisp/internal/reconfig"
 	"krisp/internal/sim"
@@ -177,6 +178,63 @@ func BenchmarkFleetRoutingDecision(b *testing.B) {
 					}
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkLLMFleet runs the disaggregated LLM fleet from the per-phase
+// acceptance test at benchmark scale: 2 nodes x 2 GPUs, decode-heavy
+// demand, prefill and decode tiers with KV handoffs between them. The
+// shared mode sizes every replica at the prefill knee; per-phase gives
+// decode its own (much smaller) right-size. tokens/s is generated tokens
+// per wall-second — the serving-throughput number tracked in
+// BENCH_PR10.json.
+func BenchmarkLLMFleet(b *testing.B) {
+	model := llm.Small()
+	for _, mode := range []struct {
+		name     string
+		perPhase bool
+	}{{"shared", false}, {"per-phase", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := Config{
+				Nodes:       2,
+				GPUsPerNode: 2,
+				Workloads: []Workload{{
+					Gen: workload.Constant{RatePerSec: 2000},
+					LLM: &LLMWorkload{
+						Model: model,
+						Lengths: workload.LengthDist{
+							PromptMin: 128, PromptMax: 128,
+							OutputMin: 64, OutputMax: 64,
+						},
+						Disaggregate: true,
+						PerPhase:     mode.perPhase,
+					},
+				}},
+				Tick:     2 * sim.Millisecond,
+				Epoch:    50 * sim.Millisecond,
+				Duration: 300 * sim.Millisecond,
+				Seed:     42,
+				Costs: reconfig.Costs{
+					PartitionSetup: 2 * sim.Millisecond,
+					ProcessStart:   3 * sim.Millisecond,
+					ModelLoad:      10 * sim.Millisecond,
+					SwapDowntime:   55 * sim.Microsecond,
+				},
+			}
+			tokens, routed := 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := Run(cfg)
+				tokens += res.TokensOut
+				routed += res.Routed
+			}
+			b.StopTimer()
+			if routed == 0 {
+				b.Fatal("fleet routed nothing")
+			}
+			b.ReportMetric(float64(tokens)/b.Elapsed().Seconds(), "tokens/s")
+			b.ReportMetric(float64(routed)/b.Elapsed().Seconds(), "requests/s")
 		})
 	}
 }

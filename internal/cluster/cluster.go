@@ -47,8 +47,15 @@ type Workload struct {
 	Gen workload.Generator
 	// SLOUs is the per-request latency SLO in virtual microseconds; zero
 	// auto-sizes from the profiled isolated latency (2x the planner's QoS
-	// target plus the CPU-side batch costs).
+	// target plus the CPU-side batch costs). LLM workloads auto-size from
+	// the expected full-sequence latency (prefill plus mean-output decode
+	// steps) instead.
 	SLOUs sim.Duration
+	// LLM, when non-nil, makes this an autoregressive workload: requests
+	// become sequences, replicas run continuous batching with KV
+	// accounting, and the autoscaler sizes per phase. Model and Batch are
+	// derived from it when left zero.
+	LLM *LLMWorkload
 }
 
 // Config describes one fleet experiment.
@@ -135,6 +142,9 @@ type ModelResult struct {
 	Rejected      int
 	Completed     int
 	SLOViolations int
+	// TokensOut counts generated tokens across served requests (LLM
+	// workloads only; classic models report zero).
+	TokensOut int
 	// Latency samples per-request latency (arrival to completion, us).
 	Latency metrics.Sample
 }
@@ -164,6 +174,16 @@ type Result struct {
 	// resize and migration; kernel-scoped ones only load models on moves.
 	ProcessScopedReload sim.Duration
 	KernelScopedReload  sim.Duration
+
+	// LLM serving counters, all zero without LLM workloads. TokensOut is
+	// the fleet's generated-token total; KVHandoffs/KVHandoffUs bill the
+	// prefill→decode KV-cache transfers of disaggregated fleets (the
+	// migration-class cost of splitting the phases); Preemptions counts
+	// sequences evicted from a replica's KV budget and requeued.
+	TokensOut   int
+	KVHandoffs  int
+	KVHandoffUs sim.Duration
+	Preemptions int
 
 	// Latency aggregates per-request latency across models.
 	Latency  metrics.Sample
@@ -231,6 +251,7 @@ type Fleet struct {
 
 	arrivalRngs []*rand.Rand
 	arrivalBufs [][]workload.TenantArrival
+	lenBufs     [][]llmLen // drawn lengths, parallel to arrivalBufs (LLM models only)
 	complBuf    []server.Completion
 	complPairs  []complPair
 	admitBuf    []admission
@@ -311,6 +332,18 @@ func New(cfg Config) *Fleet {
 		cfg.Headroom = 1
 	}
 	for i := range cfg.Workloads {
+		if lw := cfg.Workloads[i].LLM; lw != nil {
+			if cfg.Gateway != nil {
+				panic("cluster: gateway is not supported with LLM workloads yet")
+			}
+			n := normalizeLLM(*lw)
+			cfg.Workloads[i].LLM = &n
+			cfg.Workloads[i].Batch = n.MaxSeqs
+			if cfg.Workloads[i].Model.Name == "" {
+				mp, mo := n.Lengths.MeanTokens()
+				cfg.Workloads[i].Model = n.Model.Proxy(int(mp), int(mo))
+			}
+		}
 		if cfg.Workloads[i].Batch < 1 {
 			cfg.Workloads[i].Batch = models.CalibrationBatch
 		}
@@ -353,19 +386,38 @@ func New(cfg Config) *Fleet {
 	}
 	f.router.obs = f.obs
 
-	// Per-model router state, with auto-sized SLOs.
+	// Per-model router state, with auto-sized SLOs. LLM workloads carry a
+	// per-phase sizing profile and auto-size their SLO from the expected
+	// full-sequence latency (one prefill plus mean-output decode steps)
+	// instead of one fixed-batch pass.
 	pre, post := sim.Duration(150), sim.Duration(80)
 	for i, w := range cfg.Workloads {
+		var lm *llmModelState
+		if w.LLM != nil {
+			mp, mo := w.LLM.Lengths.MeanTokens()
+			lm = &llmModelState{
+				spec:       *w.LLM,
+				meanPrompt: int(mp), meanOutput: int(mo),
+				kvPerToken: w.LLM.Model.KVBytesPerToken(),
+			}
+			lm.sizing = planner.LLMSizing(w.LLM.Model, lm.meanPrompt, lm.meanOutput, w.LLM.MaxSeqs)
+		}
 		slo := w.SLOUs
 		if slo <= 0 {
-			slo = 2*planner.SLOLatency(w.Model, w.Batch) + pre + post
+			if lm != nil {
+				seqUs := lm.sizing.PrefillLatency + sim.Duration(lm.meanOutput)*lm.sizing.DecodeStepLatency
+				slo = 2*seqUs + pre + post
+			} else {
+				slo = 2*planner.SLOLatency(w.Model, w.Batch) + pre + post
+			}
 		}
 		f.router.models = append(f.router.models, &modelState{
-			index: i, name: w.Model.Name, batch: w.Batch, sloUs: float64(slo),
+			index: i, name: w.Model.Name, batch: w.Batch, sloUs: float64(slo), llm: lm,
 		})
 		f.arrivalRngs = append(f.arrivalRngs,
 			rand.New(rand.NewSource(cfg.Seed+int64(i)*104729+17)))
 		f.arrivalBufs = append(f.arrivalBufs, nil)
+		f.lenBufs = append(f.lenBufs, nil)
 	}
 
 	// Lower node-scoped faults (GPU degrades, gray failures, queue stalls)
@@ -537,12 +589,25 @@ func (f *Fleet) liveHandles() []*replicaHandle { return f.handles }
 func (f *Fleet) spawnReplica(t target, readyAt sim.Time) {
 	n := f.nodes[t.node]
 	m := f.modelByName(t.model)
-	rep := n.node.AddReplica(server.ReplicaSpec{
+	spec := server.ReplicaSpec{
 		Model: f.cfg.Workloads[m.index].Model,
 		Batch: t.batch,
 		GPU:   t.gpu,
 		CUs:   t.cus,
-	})
+	}
+	if lm := m.llm; lm != nil {
+		ls := &server.LLMSpec{
+			Model:    lm.spec.Model,
+			MaxSeqs:  lm.spec.MaxSeqs,
+			Role:     t.role,
+			KVBudget: lm.spec.KVBudget,
+		}
+		if lm.spec.PerPhase {
+			ls.PrefillCUs, ls.DecodeCUs = lm.sizing.PrefillCUs, lm.sizing.DecodeCUs
+		}
+		spec.LLM = ls
+	}
+	rep := n.node.AddReplica(spec)
 	h := &replicaHandle{
 		id:      f.handleSeq,
 		node:    t.node,
@@ -552,6 +617,7 @@ func (f *Fleet) spawnReplica(t target, readyAt sim.Time) {
 		cus:     t.cus,
 		rep:     rep,
 		readyAt: readyAt,
+		role:    t.role,
 	}
 	f.handleSeq++
 	f.handles = append(f.handles, h)
@@ -650,6 +716,9 @@ func (f *Fleet) applyFaults(now sim.Time) {
 			h.rep.Kill()
 			h.dead = true
 			h.draining = true
+			// Killed replicas are never Released; fold their preemption
+			// count now, before reap compacts them away.
+			f.res.Preemptions += h.rep.Stats().Preempted
 			f.killedBuf = append(f.killedBuf, h)
 		}
 		for _, h := range f.killedBuf {
@@ -705,6 +774,8 @@ func (f *Fleet) reap() {
 			if f.gw != nil {
 				f.gw.RemoveReplica(h.id)
 			}
+			// Harvest LLM counters before Release resets the stats.
+			f.res.Preemptions += h.rep.Stats().Preempted
 			// A gracefully drained replica is quiescent: recycle it (and
 			// its HSA queue) through the node's pool so autoscaler churn
 			// stops growing per-node state. Release refuses killed
@@ -743,6 +814,7 @@ func (f *Fleet) routeTick(from, to sim.Time) {
 	for _, m := range f.router.models {
 		f.router.drainQueue(m, from)
 	}
+	f.releaseHandoffs(from, to)
 	f.genArrivals(from, to)
 	f.mergeRoute(from)
 }
@@ -758,6 +830,16 @@ func (f *Fleet) genArrivals(from, to sim.Time) bool {
 		f.arrivalBufs[i] = workload.TenantArrivals(w.Gen, f.arrivalRngs[i], f.cfg.Tenants, from, to, f.arrivalBufs[i][:0])
 		if len(f.arrivalBufs[i]) > 0 {
 			any = true
+		}
+		// LLM workloads draw their sequence lengths from the same per-model
+		// rng, after the window's arrival draws — one Draw per arrival, so
+		// classic models consume exactly the PR9 stream.
+		if lm := f.router.models[i].llm; lm != nil {
+			f.lenBufs[i] = f.lenBufs[i][:0]
+			for range f.arrivalBufs[i] {
+				p, o := lm.spec.Lengths.Draw(f.arrivalRngs[i])
+				f.lenBufs[i] = append(f.lenBufs[i], llmLen{prompt: p, output: o})
+			}
 		}
 	}
 	return any
@@ -790,9 +872,15 @@ func (f *Fleet) mergeRoute(from sim.Time) {
 			if best < 0 {
 				return
 			}
+			m := f.router.models[best]
+			prompt, output := 0, 0
+			if m.llm != nil {
+				l := f.lenBufs[best][idx[best]]
+				prompt, output = l.prompt, l.output
+			}
 			idx[best]++
 			f.res.Arrivals++
-			f.router.route(f.router.models[best], bestT, from, 0)
+			f.router.route(m, bestT, from, 0, prompt, output)
 		}
 	}
 
@@ -862,7 +950,7 @@ func (f *Fleet) mergeRoute(from sim.Time) {
 	for i := range f.admitBuf {
 		a := &f.admitBuf[i]
 		if a.admitted {
-			f.router.route(f.router.models[a.model], a.at, from, a.tenant)
+			f.router.route(f.router.models[a.model], a.at, from, a.tenant, 0, 0)
 		}
 	}
 }
@@ -941,15 +1029,30 @@ func (f *Fleet) advance(t sim.Time) {
 // finish folds per-model state into the result.
 func (f *Fleet) finish() {
 	f.res.Epochs = f.scaler.epochs
+	for _, h := range f.handles {
+		// Live (and still-draining) handles keep their stats; drained and
+		// killed ones were harvested at reap/fault time.
+		if !h.dead {
+			f.res.Preemptions += h.rep.Stats().Preempted
+		}
+	}
 	for _, m := range f.router.models {
 		// Requests still queued at the end never completed; count them
-		// rejected so totals balance.
+		// rejected so totals balance. Handoffs still in transit were
+		// already routed — they end the run in flight, like any other
+		// unfinished request.
 		m.rejected += len(m.queue)
 		m.queue = nil
+		if m.llm != nil {
+			m.llm.handoffs = nil
+			f.res.KVHandoffs += m.llm.handoffCount
+			f.res.KVHandoffUs += m.llm.handoffUs
+		}
 		f.res.Routed += m.routed
 		f.res.Rejected += m.rejected
 		f.res.Completed += m.completed
 		f.res.SLOViolations += m.sloViolations
+		f.res.TokensOut += m.tokensOut
 		mr := ModelResult{
 			Model:         m.name,
 			Arrivals:      m.arrivals,
@@ -957,6 +1060,7 @@ func (f *Fleet) finish() {
 			Rejected:      m.rejected,
 			Completed:     m.completed,
 			SLOViolations: m.sloViolations,
+			TokensOut:     m.tokensOut,
 			Latency:       m.latency,
 		}
 		for _, v := range m.latency.Values() {

@@ -214,6 +214,11 @@ func (f *Fleet) canSkipPhases(now sim.Time) bool {
 		if len(m.queue) > 0 {
 			return false
 		}
+		// Pending KV handoffs must be released by routeTick: a skipped
+		// phase would strand prefilled sequences in transit.
+		if m.llm != nil && len(m.llm.handoffs) > 0 {
+			return false
+		}
 	}
 	return true
 }

@@ -5,6 +5,7 @@ import (
 
 	"krisp/internal/reconfig"
 	"krisp/internal/sched"
+	"krisp/internal/server"
 	"krisp/internal/sim"
 )
 
@@ -20,6 +21,19 @@ type target struct {
 	cus   int
 	node  int
 	gpu   int
+	// role is the LLM serving role this gpulet is placed for
+	// (LLMRoleMixed for classic models and non-disaggregated fleets).
+	role server.LLMRole
+}
+
+// llmInst is one pre-sized LLM gpulet the autoscaler asks the placer to
+// spread: the planner's per-phase sizing already fixed its CU budget, so
+// the placer only packs it.
+type llmInst struct {
+	model string
+	batch int
+	cus   int
+	role  server.LLMRole
 }
 
 // placer turns demand forecasts into gpulet placements. Sizing comes from
@@ -41,27 +55,25 @@ type placer struct {
 // caller, so equal-freedom ties walk across nodes before doubling up).
 // It returns the placed targets and the count of gpulets that did not fit
 // (unplaced demand the router will shed).
-func (p *placer) place(demands []sched.Demand, slots []slot) (placed []target, unplaced int) {
-	if len(slots) == 0 || len(demands) == 0 {
+func (p *placer) place(demands []sched.Demand, llmInsts []llmInst, slots []slot) (placed []target, unplaced int) {
+	if len(slots) == 0 || (len(demands) == 0 && len(llmInsts) == 0) {
 		return nil, 0
 	}
-	type inst struct {
-		model string
-		batch int
-		cus   int
-	}
-	var insts []inst
+	insts := append([]llmInst(nil), llmInsts...)
 	for _, d := range demands {
 		s := p.planner.Sizing(d.Model, d.Batch, d.RatePerSec)
 		for i := 0; i < s.Instances; i++ {
-			insts = append(insts, inst{model: d.Model.Name, batch: d.Batch, cus: s.CUs})
+			insts = append(insts, llmInst{model: d.Model.Name, batch: d.Batch, cus: s.CUs})
 		}
 	}
 	sort.SliceStable(insts, func(i, j int) bool {
 		if insts[i].cus != insts[j].cus {
 			return insts[i].cus > insts[j].cus
 		}
-		return insts[i].model < insts[j].model
+		if insts[i].model != insts[j].model {
+			return insts[i].model < insts[j].model
+		}
+		return insts[i].role < insts[j].role
 	})
 
 	free := make([]int, len(slots))
@@ -82,7 +94,7 @@ func (p *placer) place(demands []sched.Demand, slots []slot) (placed []target, u
 		free[best] -= in.cus
 		placed = append(placed, target{
 			model: in.model, batch: in.batch, cus: in.cus,
-			node: slots[best].node, gpu: slots[best].gpu,
+			node: slots[best].node, gpu: slots[best].gpu, role: in.role,
 		})
 	}
 	return placed, unplaced
@@ -91,8 +103,8 @@ func (p *placer) place(demands []sched.Demand, slots []slot) (placed []target, u
 // diffActions is the migration bill of applying one epoch's placement.
 type diffActions struct {
 	keep    []*replicaHandle
-	resize  []resizeAction  // drain old, spawn same slot at new size (free)
-	migrate []target        // spawn on a new slot (model load paid)
+	resize  []resizeAction // drain old, spawn same slot at new size (free)
+	migrate []target       // spawn on a new slot (model load paid)
 	drain   []*replicaHandle
 }
 
@@ -111,18 +123,19 @@ func diff(current []*replicaHandle, targets []target) diffActions {
 	type key struct {
 		node, gpu int
 		model     string
+		role      server.LLMRole
 	}
 	curByKey := make(map[key][]*replicaHandle)
 	for _, h := range current {
 		if h.dead || h.draining {
 			continue
 		}
-		k := key{h.node, h.gpu, h.model}
+		k := key{h.node, h.gpu, h.model, h.role}
 		curByKey[k] = append(curByKey[k], h)
 	}
 	tgtByKey := make(map[key][]target)
 	for _, t := range targets {
-		k := key{t.node, t.gpu, t.model}
+		k := key{t.node, t.gpu, t.model, t.role}
 		tgtByKey[k] = append(tgtByKey[k], t)
 	}
 
@@ -187,6 +200,9 @@ func diff(current []*replicaHandle, targets []target) diffActions {
 		}
 		if a.model != b.model {
 			return a.model < b.model
+		}
+		if a.role != b.role {
+			return a.role < b.role
 		}
 		return a.cus < b.cus
 	})

@@ -140,6 +140,10 @@ type replicaHandle struct {
 	draining  bool
 	dead      bool
 
+	// role is the replica's LLM serving role; LLMRoleMixed (zero) for
+	// classic models and non-disaggregated LLM fleets.
+	role server.LLMRole
+
 	// breaker is the replica's circuit breaker when a gateway fronts the
 	// fleet; nil otherwise (and nil always allows).
 	breaker *gateway.Breaker
@@ -153,10 +157,18 @@ func (h *replicaHandle) routable(now sim.Time) bool {
 	return !h.dead && !h.draining && h.readyAt <= now && h.breaker.Allow(now)
 }
 
+// accepts reports whether fresh arrivals may route here: decode-role
+// replicas only serve sequences handed off after prefill, never prompts.
+func (h *replicaHandle) accepts() bool { return h.role != server.LLMRoleDecode }
+
 // queuedReq is one admission-queued request.
 type queuedReq struct {
 	arrival sim.Time
 	tenant  int // dense gateway tenant index; 0 without a gateway
+
+	// prompt/output are the drawn sequence lengths for LLM workloads;
+	// zero for classic models.
+	prompt, output int
 }
 
 // modelState is the router's per-model bookkeeping: the live replica set,
@@ -170,11 +182,17 @@ type modelState struct {
 	replicas []*replicaHandle
 	queue    []queuedReq
 
+	// llm is non-nil when this model is an autoregressive workload; it
+	// carries the length distribution, per-phase sizing, and the
+	// disaggregated handoff queue.
+	llm *llmModelState
+
 	arrivals      int
 	routed        int
 	rejected      int
 	completed     int
 	sloViolations int
+	tokensOut     int
 	latency       metrics.Sample
 
 	// readyBuf caches the routable replica set for one routing phase, keyed
@@ -290,7 +308,7 @@ func feasibleUs(m *modelState, h *replicaHandle) float64 {
 func (r *router) bestPredictUs(m *modelState, now sim.Time) float64 {
 	best := math.Inf(1)
 	for _, h := range m.replicas {
-		if !h.routable(now) {
+		if !h.accepts() || !h.routable(now) {
 			continue
 		}
 		if s := feasibleUs(m, h); s < best {
@@ -315,7 +333,7 @@ func (r *router) readySet(m *modelState, now sim.Time) []*replicaHandle {
 	}
 	m.readyBuf = m.readyBuf[:0]
 	for _, h := range m.replicas {
-		if h.routable(now) {
+		if h.accepts() && h.routable(now) {
 			m.readyBuf = append(m.readyBuf, h)
 		}
 	}
@@ -336,7 +354,7 @@ func (r *router) pick(m *modelState, now sim.Time, exclude int) *replicaHandle {
 		n := len(m.replicas)
 		for i := 0; i < n; i++ {
 			h := m.replicas[(m.rrNext+i)%n]
-			if h.id != exclude && h.routable(now) && h.outstanding < r.outstandingCap {
+			if h.id != exclude && h.accepts() && h.routable(now) && h.outstanding < r.outstandingCap {
 				m.rrNext = (m.rrNext + i + 1) % n
 				return h
 			}
@@ -357,7 +375,7 @@ func (r *router) pick(m *modelState, now sim.Time, exclude int) *replicaHandle {
 			return best
 		}
 		for _, h := range m.replicas {
-			if h.id == exclude || !h.routable(now) || h.outstanding >= r.outstandingCap {
+			if h.id == exclude || !h.accepts() || !h.routable(now) || h.outstanding >= r.outstandingCap {
 				continue
 			}
 			if best == nil || h.outstanding < best.outstanding {
@@ -373,7 +391,7 @@ func (r *router) pick(m *modelState, now sim.Time, exclude int) *replicaHandle {
 		} else {
 			ready = m.readyBuf[:0]
 			for _, h := range m.replicas {
-				if h.id != exclude && h.routable(now) {
+				if h.id != exclude && h.accepts() && h.routable(now) {
 					ready = append(ready, h)
 				}
 			}
@@ -411,7 +429,7 @@ func (r *router) pick(m *modelState, now sim.Time, exclude int) *replicaHandle {
 			return best
 		}
 		for _, h := range m.replicas {
-			if h.id == exclude || !h.routable(now) || h.outstanding >= r.outstandingCap {
+			if h.id == exclude || !h.accepts() || !h.routable(now) || h.outstanding >= r.outstandingCap {
 				continue
 			}
 			score := predictUs(m, h)
@@ -429,16 +447,17 @@ func (r *router) pick(m *modelState, now sim.Time, exclude int) *replicaHandle {
 // route admits one request that arrived at the given time: hand it to a
 // replica, queue it, or reject it. Routed requests are scheduled onto the
 // chosen replica's node at their arrival timestamp. tenant is the dense
-// gateway tenant index (0 without a gateway).
-func (r *router) route(m *modelState, arrival sim.Time, now sim.Time, tenant int) {
+// gateway tenant index (0 without a gateway); prompt/output are the drawn
+// sequence lengths for LLM workloads (0 for classic models).
+func (r *router) route(m *modelState, arrival sim.Time, now sim.Time, tenant, prompt, output int) {
 	r.seq++
 	m.arrivals++
 	if h := r.pick(m, now, -1); h != nil {
-		r.send(m, h, arrival, now, tenant)
+		r.send(m, h, arrival, now, tenant, prompt, output)
 		return
 	}
 	if len(m.queue) < r.queueCap {
-		m.queue = append(m.queue, queuedReq{arrival: arrival, tenant: tenant})
+		m.queue = append(m.queue, queuedReq{arrival: arrival, tenant: tenant, prompt: prompt, output: output})
 		return
 	}
 	m.rejected++
@@ -451,7 +470,9 @@ func (r *router) route(m *modelState, arrival sim.Time, now sim.Time, tenant int
 
 // send commits one request to a replica. In gateway mode the request gets
 // a fresh identity so its copies can be hedged, cancelled, and matched.
-func (r *router) send(m *modelState, h *replicaHandle, arrival, now sim.Time, tenant int) {
+// LLM requests (prompt > 0) enter the replica's continuous batch as fresh
+// sequences via SubmitSeq.
+func (r *router) send(m *modelState, h *replicaHandle, arrival, now sim.Time, tenant, prompt, output int) {
 	h.outstanding++
 	h.routed++
 	m.routed++
@@ -476,8 +497,17 @@ func (r *router) send(m *modelState, h *replicaHandle, arrival, now sim.Time, te
 		if deliver < now {
 			deliver = now // queued re-sends deliver now, like Schedule's clamp
 		}
-		h.nodeRef.node.PostSubmit(deliver, at, rep, id)
+		if prompt > 0 {
+			h.nodeRef.node.PostSubmitSeq(deliver, at, rep, id, prompt, output, false)
+		} else {
+			h.nodeRef.node.PostSubmit(deliver, at, rep, id)
+		}
 		h.nodeRef.noteMail(deliver)
+		return
+	}
+	if prompt > 0 {
+		p, o := prompt, output
+		h.nodeRef.node.Schedule(at, func() { rep.SubmitSeq(at, id, p, o, false) })
 		return
 	}
 	if id != 0 {
@@ -513,7 +543,7 @@ func (r *router) drainQueue(m *modelState, now sim.Time) {
 		}
 		if h := r.pick(m, now, -1); h != nil {
 			r.seq++
-			r.send(m, h, q.arrival, now, q.tenant)
+			r.send(m, h, q.arrival, now, q.tenant, q.prompt, q.output)
 			continue
 		}
 		keep = append(keep, q)
@@ -533,6 +563,13 @@ func (r *router) absorb(m *modelState, h *replicaHandle, c server.Completion, no
 	}
 	lat := float64(c.End - c.Arrival)
 	h.lat.add(lat)
+	if h.role == server.LLMRolePrefill && m.llm != nil {
+		// A finished prefill is not a served request yet: bill the KV
+		// transfer and queue the sequence for a decode replica. The journey
+		// and the latency sample retire on the decode-side completion.
+		m.llm.queueHandoff(c, 0)
+		return
+	}
 	if r.gw != nil && !r.gw.OnCompletion(c.ID, h.id, c.End, now) {
 		// The losing copy of a hedge (or a stale copy of a retried
 		// request): evidence for the replica's latency window above, but
@@ -540,6 +577,7 @@ func (r *router) absorb(m *modelState, h *replicaHandle, c server.Completion, no
 		return
 	}
 	m.completed++
+	m.tokensOut += c.Tokens
 	m.latency.Add(lat)
 	r.tel.cCompleted().Inc()
 	sloViolated := lat > m.sloUs

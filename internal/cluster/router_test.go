@@ -122,7 +122,7 @@ func TestRouteQueuesThenRejects(t *testing.T) {
 	r := testRouter(RoundRobin) // queueCap = 8
 	m := fakeModel(0)           // no replicas at all
 	for i := 0; i < 10; i++ {
-		r.route(m, 0, 0, 0)
+		r.route(m, 0, 0, 0, 0, 0)
 	}
 	if m.arrivals != 10 {
 		t.Fatalf("arrivals = %d, want 10", m.arrivals)

@@ -181,6 +181,54 @@ func TenantArrivals(g Generator, rng *rand.Rand, shares []TenantShare, from, to 
 	}
 }
 
+// LengthDist is a prompt/output token-length distribution for
+// autoregressive (LLM) workloads: lengths are drawn uniformly in
+// [Min, Max] per request from the workload's own arrival RNG, so a given
+// (dist, rng state) pair always yields the same length trace. Zero bounds
+// fall back to a 128-token prompt and 32-token output.
+type LengthDist struct {
+	PromptMin, PromptMax int
+	OutputMin, OutputMax int
+}
+
+// span normalizes one [min, max] pair against a default.
+func span(min, max, def int) (int, int) {
+	if min <= 0 && max <= 0 {
+		min, max = def, def
+	}
+	if min <= 0 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return min, max
+}
+
+// Draw samples one (prompt, output) pair, consuming one rng draw per
+// non-degenerate span — the consumption pattern depends only on the dist,
+// never on prior draws, so callers that interleave Draw with other rng
+// use still get reproducible traces.
+func (d LengthDist) Draw(rng *rand.Rand) (prompt, output int) {
+	pmin, pmax := span(d.PromptMin, d.PromptMax, 128)
+	omin, omax := span(d.OutputMin, d.OutputMax, 32)
+	prompt, output = pmin, omin
+	if pmax > pmin {
+		prompt += rng.Intn(pmax - pmin + 1)
+	}
+	if omax > omin {
+		output += rng.Intn(omax - omin + 1)
+	}
+	return prompt, output
+}
+
+// MeanTokens returns the distribution's mean prompt and output lengths.
+func (d LengthDist) MeanTokens() (prompt, output float64) {
+	pmin, pmax := span(d.PromptMin, d.PromptMax, 128)
+	omin, omax := span(d.OutputMin, d.OutputMax, 32)
+	return float64(pmin+pmax) / 2, float64(omin+omax) / 2
+}
+
 // MeanRate numerically averages the profile over [from, to) — handy for
 // sizing demand forecasts without sampling.
 func MeanRate(g Generator, from, to sim.Time) float64 {

@@ -66,6 +66,11 @@ type RightSizer struct {
 	db       *profile.DB
 	totalCUs int
 	fixed    int
+	// phase holds per-phase fixed sizes for autoregressive serving:
+	// phase[kernels.PhasePrefill] and phase[kernels.PhaseDecode]. A zero
+	// entry falls through to the regular fixed/db/full-device path, so a
+	// sizer without phase entries behaves exactly as before.
+	phase [3]int
 }
 
 // NewRightSizer wraps a performance database for a device with totalCUs
@@ -87,9 +92,42 @@ func NewFixedRightSizer(n, totalCUs int) *RightSizer {
 	return &RightSizer{totalCUs: totalCUs, fixed: n}
 }
 
-// Size returns the partition size for a kernel: the fixed size if set,
-// else its profiled minCU, else the full device for unprofiled kernels.
+// NewPhaseRightSizer returns a sizer granting separate fixed partitions
+// to prefill- and decode-tagged kernels — per-phase kernel-wise
+// right-sizing for autoregressive models, where the two phases sit at
+// opposite ends of the minCU spectrum. Untagged kernels fall back to the
+// larger of the two sizes (the safe side for anything unphased that
+// sneaks into an LLM sequence).
+func NewPhaseRightSizer(prefillCUs, decodeCUs, totalCUs int) *RightSizer {
+	clamp := func(n int) int {
+		if n < 1 {
+			n = 1
+		}
+		if n > totalCUs {
+			n = totalCUs
+		}
+		return n
+	}
+	prefillCUs, decodeCUs = clamp(prefillCUs), clamp(decodeCUs)
+	fallback := prefillCUs
+	if decodeCUs > fallback {
+		fallback = decodeCUs
+	}
+	r := &RightSizer{totalCUs: totalCUs, fixed: fallback}
+	r.phase[kernels.PhasePrefill] = prefillCUs
+	r.phase[kernels.PhaseDecode] = decodeCUs
+	return r
+}
+
+// Size returns the partition size for a kernel: the phase-specific size
+// for tagged kernels when configured, else the fixed size if set, else
+// its profiled minCU, else the full device for unprofiled kernels.
 func (r *RightSizer) Size(d kernels.Desc) int {
+	if d.Phase != kernels.PhaseNone {
+		if s := r.phase[d.Phase]; s > 0 {
+			return s
+		}
+	}
 	if r.fixed > 0 {
 		return r.fixed
 	}

@@ -68,6 +68,11 @@ type DeviceSpec struct {
 	// interference). Zero would make unsaturated sharing literally free,
 	// which real hardware never is.
 	ShareTax float64
+	// HBMBytes is the device memory capacity in bytes. It bounds the
+	// KV-cache ledger (ReserveKV/FreeKV) used by autoregressive serving;
+	// zero means no KV budget is enforced, which keeps every pre-existing
+	// spec literal behaving exactly as before.
+	HBMBytes float64
 }
 
 // MI50Spec approximates the AMD MI50: 60 CUs, 10 workgroup slots per CU,
@@ -79,6 +84,7 @@ func MI50Spec() DeviceSpec {
 		MemBandwidth:    1.0e6, // 1 TB/s in bytes/us
 		InterferenceTax: 1.0,
 		ShareTax:        0.25,
+		HBMBytes:        32e9, // 32 GB HBM2
 	}
 }
 
@@ -90,6 +96,7 @@ func MI100Spec() DeviceSpec {
 		MemBandwidth:    1.23e6,
 		InterferenceTax: 1.0,
 		ShareTax:        0.25,
+		HBMBytes:        32e9, // 32 GB HBM2
 	}
 }
 
@@ -138,7 +145,7 @@ type Device struct {
 	// order, perturbed by swap-removal on completion). retime walks it on
 	// every launch and completion, so it must iterate like an array, not a
 	// map — and slice order is deterministic, where map order is not.
-	running []*Exec
+	running  []*Exec
 	counters []int // per-CU count of kernels whose mask includes the CU (Resource Monitor)
 	busy     int   // CUs with at least one kernel assigned, maintained incrementally
 	// healthy tracks the CUs still alive; allHealthy short-circuits the
@@ -179,6 +186,14 @@ type Device struct {
 	busyIntegral float64
 	lastBusyAt   sim.Time
 	lastBusyCUs  int
+
+	// kvCapacity/kvInUse are the KV-cache ledger for autoregressive
+	// serving: replicas reserve bytes at sequence admission and per decoded
+	// token, and free them when sequences retire or are preempted.
+	// kvCapacity <= 0 disables the ledger (every reservation succeeds), so
+	// devices built from pre-LLM spec literals are unchanged.
+	kvCapacity float64
+	kvInUse    float64
 }
 
 // NewDevice creates a device bound to the simulation engine. meter may be
@@ -202,6 +217,39 @@ func NewDevice(eng *sim.Engine, spec DeviceSpec, meter Meter) *Device {
 		allHealthy: true,
 		degrade:    make([]float64, spec.Topo.TotalCUs()),
 		meter:      meter,
+		kvCapacity: spec.HBMBytes,
+	}
+}
+
+// SetKVCapacity overrides the device's KV-cache budget in bytes (the spec
+// HBM size minus resident weights, or a deliberately tight test budget).
+// Non-positive disables the ledger. Lowering the budget below the bytes
+// already in use is allowed: existing sequences keep their reservations
+// and new ones are refused until usage drains below the new cap.
+func (d *Device) SetKVCapacity(bytes float64) { d.kvCapacity = bytes }
+
+// KVCapacity returns the KV budget in bytes (<= 0: unenforced).
+func (d *Device) KVCapacity() float64 { return d.kvCapacity }
+
+// KVInUse returns the bytes currently reserved.
+func (d *Device) KVInUse() float64 { return d.kvInUse }
+
+// ReserveKV claims bytes from the KV budget, reporting whether they fit.
+// Admission at exact capacity succeeds — the ledger refuses only requests
+// that would exceed the budget.
+func (d *Device) ReserveKV(bytes float64) bool {
+	if d.kvCapacity > 0 && d.kvInUse+bytes > d.kvCapacity {
+		return false
+	}
+	d.kvInUse += bytes
+	return true
+}
+
+// FreeKV returns bytes to the KV budget.
+func (d *Device) FreeKV(bytes float64) {
+	d.kvInUse -= bytes
+	if d.kvInUse < 0 {
+		d.kvInUse = 0
 	}
 }
 
@@ -403,6 +451,8 @@ func (d *Device) Reset() {
 	d.busyIntegral = 0
 	d.lastBusyAt = 0
 	d.lastBusyCUs = 0
+	d.kvInUse = 0
+	d.kvCapacity = d.Spec.HBMBytes
 }
 
 func (d *Device) accumulateBusy() {

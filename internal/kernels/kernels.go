@@ -62,6 +62,37 @@ var efficiency = map[string]float64{
 	FamilyVecMult:     0.50,
 }
 
+// Phase tags a kernel with the autoregressive serving phase it belongs
+// to. Classic fixed-sequence models leave it at PhaseNone (the zero
+// value), so nothing about their descriptors, keys, or database entries
+// changes. LLM models tag their prefill and decode kernels so a
+// phase-aware right-sizer can grant different partition sizes to the two
+// phases of the same replica — the kernel-wise argument applied to the
+// starkest minCU split the workload class has.
+type Phase uint8
+
+const (
+	// PhaseNone marks a kernel outside any autoregressive phase.
+	PhaseNone Phase = iota
+	// PhasePrefill marks prompt-processing kernels: large GEMMs, compute
+	// bound, high minCU.
+	PhasePrefill
+	// PhaseDecode marks per-token generation kernels: batched GEMV plus
+	// KV-cache scans, bandwidth bound, low minCU.
+	PhaseDecode
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhasePrefill:
+		return "prefill"
+	case PhaseDecode:
+		return "decode"
+	default:
+		return "none"
+	}
+}
+
 // Desc is a fully-specified kernel dispatch: what the ROCm runtime would
 // see in an AQL kernel packet, plus bookkeeping for profiling figures.
 type Desc struct {
@@ -73,6 +104,8 @@ type Desc struct {
 	// Fig. 6b input-size scatter; it differs from Work.MemBytes, which is
 	// total DRAM traffic.
 	InputBytes float64
+	// Phase is the autoregressive serving phase, if any (LLM models only).
+	Phase Phase
 }
 
 func (d Desc) String() string {

@@ -1,0 +1,238 @@
+// Package llm defines autoregressive LLM serving workloads for the KRISP
+// stack: models whose inference is not a fixed kernel sequence but a
+// prefill pass over the prompt followed by one decode step per generated
+// token, with a KV cache that grows by one entry per sequence per token.
+//
+// The two phases sit at opposite ends of the minCU spectrum — prefill is
+// large compute-bound GEMMs that want most of the machine, decode is
+// batched GEMV plus a KV-cache scan that is bandwidth-bound and tolerates
+// tiny partitions — which makes this workload class the starkest
+// application of the paper's kernel-wise right-sizing argument. Kernel
+// descriptors are tagged with their phase (kernels.PhasePrefill /
+// kernels.PhaseDecode) so a phase-aware right-sizer can grant the two
+// phases different partition sizes inside one replica.
+//
+// Like internal/models, the kernels here are stylized: durations are
+// virtual microseconds calibrated to put prefill knees high and decode
+// knees low, prefill cost linear-plus-quadratic in prompt length, and
+// decode cost growing with resident context (the KV scan streams more
+// bytes as sequences age) — the shape KernelSight-LM-style simulators
+// preserve, not a cycle-accurate port of any particular model.
+package llm
+
+import (
+	"krisp/internal/gpu"
+	"krisp/internal/kernels"
+	"krisp/internal/models"
+	"krisp/internal/sim"
+)
+
+// slotsPerCU mirrors gpu.MI50Spec().SlotsPerCU, as in internal/models.
+const slotsPerCU = 10
+
+// Model is one autoregressive serving workload.
+type Model struct {
+	// Name identifies the model in workload configs and result tables.
+	Name string
+	// Layers and Hidden shape the memory model: weight bytes and KV-cache
+	// bytes per token derive from them.
+	Layers, Hidden int
+	// PrefillKnee / DecodeKnee are the calibrated per-phase minimum CU
+	// targets: prefill kernels issue PrefillKnee x slotsPerCU workgroups
+	// (one wave at or above the knee), decode kernels DecodeKnee x
+	// slotsPerCU with compute sized just under their memory time so
+	// restricting below the knee is what breaks the latency budget.
+	PrefillKnee, DecodeKnee int
+	// MaxContext bounds prompt + output tokens per sequence.
+	MaxContext int
+
+	// PrefillUsPerToken is the linear prefill GEMM cost in virtual us per
+	// prompt token; PrefillUsQuad the attention cost per (tokens^2 / 1024).
+	PrefillUsPerToken, PrefillUsQuad float64
+	// DecodeUs is the batched-GEMV compute time of one decode step at the
+	// decode knee. The step's memory time (weights plus KV scan) usually
+	// dominates; DecodeUs sits just below it so the knee is sharp.
+	DecodeUs float64
+}
+
+// Small is a compact model sized so fleet simulations turn sequences over
+// in a few milliseconds: ~300us decode steps, sub-millisecond prefills
+// for typical prompts.
+func Small() Model {
+	return Model{
+		Name: "llm-small", Layers: 12, Hidden: 1024,
+		PrefillKnee: 40, DecodeKnee: 8, MaxContext: 2048,
+		PrefillUsPerToken: 4.0, PrefillUsQuad: 0.15, DecodeUs: 250,
+	}
+}
+
+// Large is a 4x heavier model: ~1.2ms decode steps and multi-millisecond
+// prefills, for experiments where LLM work should dominate the fleet.
+func Large() Model {
+	return Model{
+		Name: "llm-large", Layers: 24, Hidden: 2048,
+		PrefillKnee: 52, DecodeKnee: 12, MaxContext: 4096,
+		PrefillUsPerToken: 12.0, PrefillUsQuad: 0.5, DecodeUs: 900,
+	}
+}
+
+// All lists the defined LLM models.
+func All() []Model { return []Model{Small(), Large()} }
+
+// ByName returns the model with the given name.
+func ByName(name string) (Model, bool) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// WeightBytes is the resident parameter footprint streamed from HBM on
+// every forward pass: ~12*Hidden^2 weights per layer at one byte each
+// (stylized quantized storage).
+func (m Model) WeightBytes() float64 {
+	return 12 * float64(m.Layers) * float64(m.Hidden) * float64(m.Hidden)
+}
+
+// KVBytesPerToken is the cache growth per sequence per resident token:
+// one K and one V vector of Hidden fp16 values per layer.
+func (m Model) KVBytesPerToken() float64 {
+	return 4 * float64(m.Layers) * float64(m.Hidden)
+}
+
+// Kernel names follow the symbol style of ROCm traces.
+const (
+	namePrefillGEMM   = kernels.FamilyGEMM + "_prefill"
+	namePrefillAttn   = "flash_attn_fwd_prefill"
+	namePrefillPtwise = kernels.FamilyElementwise + "_prefill"
+	nameDecodeGEMV    = "gemv_decode_fused"
+	nameKVScan        = "paged_kv_scan_decode"
+)
+
+// AppendPrefill appends the prefill pass of one sequence with the given
+// prompt length to buf and returns it: a fused QKV/FFN GEMM whose
+// duration is linear in the prompt, a flash-attention kernel quadratic in
+// it, and a bandwidth-bound pointwise epilogue. All three are tagged
+// kernels.PhasePrefill. Append-style so callers with pre-sized buffers
+// build steps without allocating.
+func (m Model) AppendPrefill(buf []kernels.Desc, promptTokens int) []kernels.Desc {
+	if promptTokens < 1 {
+		promptTokens = 1
+	}
+	p := float64(promptTokens)
+	wgs := m.PrefillKnee * slotsPerCU
+	buf = append(buf, kernels.Desc{
+		Name: namePrefillGEMM,
+		Work: gpu.KernelWork{
+			Workgroups:   wgs,
+			ThreadsPerWG: 256,
+			WGTime:       sim.Duration(m.PrefillUsPerToken * p),
+			MemBytes:     m.WeightBytes(),
+			Tail:         0.5,
+			WaveExponent: 0.5,
+		},
+		InputBytes: p * float64(m.Hidden) * 2,
+		Phase:      kernels.PhasePrefill,
+	})
+	buf = append(buf, kernels.Desc{
+		Name: namePrefillAttn,
+		Work: gpu.KernelWork{
+			Workgroups:   wgs,
+			ThreadsPerWG: 256,
+			WGTime:       sim.Duration(m.PrefillUsQuad * p * p / 1024),
+			MemBytes:     p * m.KVBytesPerToken(),
+			Tail:         0.5,
+			WaveExponent: 0.5,
+		},
+		InputBytes: p * float64(m.Hidden) * 2,
+		Phase:      kernels.PhasePrefill,
+	})
+	actBytes := p * float64(m.Hidden) * 12
+	buf = append(buf, kernels.Desc{
+		Name: namePrefillPtwise,
+		Work: gpu.KernelWork{
+			Workgroups:   wgs,
+			ThreadsPerWG: 256,
+			WGTime:       0.05,
+			MemBytes:     actBytes,
+			Tail:         0.5,
+		},
+		InputBytes: actBytes / 2,
+		Phase:      kernels.PhasePrefill,
+	})
+	return buf
+}
+
+// AppendDecodeStep appends one continuous-batching decode step to buf and
+// returns it: a batched GEMV streaming the full weight set (amortized
+// over every decoding sequence in the step, so its cost is nearly
+// independent of the batch) and a KV scan whose traffic is the resident
+// context of all seqs sequences — ctxTokens total tokens — which is what
+// makes decode steps slower as sequences age. Both are tagged
+// kernels.PhaseDecode.
+func (m Model) AppendDecodeStep(buf []kernels.Desc, seqs, ctxTokens int) []kernels.Desc {
+	if seqs < 1 {
+		seqs = 1
+	}
+	if ctxTokens < seqs {
+		ctxTokens = seqs
+	}
+	wgs := m.DecodeKnee * slotsPerCU
+	buf = append(buf, kernels.Desc{
+		Name: nameDecodeGEMV,
+		Work: gpu.KernelWork{
+			Workgroups:   wgs,
+			ThreadsPerWG: 256,
+			WGTime:       sim.Duration(m.DecodeUs),
+			MemBytes:     m.WeightBytes(),
+			Tail:         0.5,
+			WaveExponent: 0.6,
+		},
+		InputBytes: float64(seqs) * float64(m.Hidden) * 2,
+		Phase:      kernels.PhaseDecode,
+	})
+	kvBytes := float64(ctxTokens) * m.KVBytesPerToken()
+	buf = append(buf, kernels.Desc{
+		Name: nameKVScan,
+		Work: gpu.KernelWork{
+			Workgroups:   wgs,
+			ThreadsPerWG: 256,
+			WGTime:       0.05,
+			MemBytes:     kvBytes,
+			Tail:         0.5,
+		},
+		InputBytes: kvBytes,
+		Phase:      kernels.PhaseDecode,
+	})
+	return buf
+}
+
+// PrefillKernels is the allocating convenience form of AppendPrefill.
+func (m Model) PrefillKernels(promptTokens int) []kernels.Desc {
+	return m.AppendPrefill(nil, promptTokens)
+}
+
+// DecodeKernels is the allocating convenience form of AppendDecodeStep.
+func (m Model) DecodeKernels(seqs, ctxTokens int) []kernels.Desc {
+	return m.AppendDecodeStep(nil, seqs, ctxTokens)
+}
+
+// Proxy wraps the model as a fixed-sequence models.Model — one prefill of
+// avgPrompt tokens plus one decode step of batch sequences at their mean
+// resident context — so LLM replicas can carry a models.Model in their
+// spec and profiling tools can sweep a representative pass.
+func (m Model) Proxy(avgPrompt, avgOutput int) models.Model {
+	if avgPrompt < 1 {
+		avgPrompt = 1
+	}
+	if avgOutput < 1 {
+		avgOutput = 1
+	}
+	return models.Custom(m.Name, m.PrefillKnee, func(batch int) []kernels.Desc {
+		ctx := batch * (avgPrompt + avgOutput/2)
+		buf := m.AppendPrefill(nil, avgPrompt)
+		return m.AppendDecodeStep(buf, batch, ctx)
+	})
+}

@@ -1,0 +1,139 @@
+package llm
+
+import (
+	"testing"
+
+	"krisp/internal/kernels"
+)
+
+func TestModelCatalog(t *testing.T) {
+	for _, m := range All() {
+		if m.Name == "" || m.Layers <= 0 || m.Hidden <= 0 {
+			t.Fatalf("malformed model %+v", m)
+		}
+		got, ok := ByName(m.Name)
+		if !ok || got.Name != m.Name {
+			t.Fatalf("ByName(%q) = %+v, %v", m.Name, got, ok)
+		}
+		wantW := 12 * float64(m.Layers) * float64(m.Hidden) * float64(m.Hidden)
+		if m.WeightBytes() != wantW {
+			t.Fatalf("%s WeightBytes = %g, want %g", m.Name, m.WeightBytes(), wantW)
+		}
+		wantKV := 4 * float64(m.Layers) * float64(m.Hidden)
+		if m.KVBytesPerToken() != wantKV {
+			t.Fatalf("%s KVBytesPerToken = %g, want %g", m.Name, m.KVBytesPerToken(), wantKV)
+		}
+		// The phase knees must be far apart — that separation is the whole
+		// right-sizing argument for this workload class.
+		if m.PrefillKnee < 4*m.DecodeKnee {
+			t.Fatalf("%s knees too close: prefill %d decode %d", m.Name, m.PrefillKnee, m.DecodeKnee)
+		}
+	}
+	if _, ok := ByName("no-such-model"); ok {
+		t.Fatal("ByName accepted an unknown model")
+	}
+}
+
+func TestPrefillKernelShape(t *testing.T) {
+	m := Small()
+	pre := m.PrefillKernels(256)
+	if len(pre) != 3 {
+		t.Fatalf("prefill pass = %d kernels, want 3", len(pre))
+	}
+	for _, d := range pre {
+		if d.Phase != kernels.PhasePrefill {
+			t.Fatalf("kernel %s tagged %v, want prefill", d.Name, d.Phase)
+		}
+		if d.Work.Workgroups != m.PrefillKnee*slotsPerCU {
+			t.Fatalf("kernel %s issues %d WGs, want knee %d x %d", d.Name, d.Work.Workgroups, m.PrefillKnee, slotsPerCU)
+		}
+	}
+	// Linear GEMM cost, quadratic attention cost.
+	if got := pre[0].Work.WGTime; got != m.PrefillUsPerToken*256 {
+		t.Fatalf("prefill GEMM WGTime = %v, want %v", got, m.PrefillUsPerToken*256)
+	}
+	if got := pre[1].Work.WGTime; got != m.PrefillUsQuad*256*256/1024 {
+		t.Fatalf("prefill attn WGTime = %v, want %v", got, m.PrefillUsQuad*256*256/1024)
+	}
+	// Longer prompts cost strictly more.
+	long := m.PrefillKernels(1024)
+	if long[0].Work.WGTime <= pre[0].Work.WGTime || long[1].Work.WGTime <= pre[1].Work.WGTime {
+		t.Fatal("prefill cost not increasing in prompt length")
+	}
+	// Degenerate prompts clamp to one token.
+	if z := m.PrefillKernels(0); z[0].Work.WGTime != m.PrefillUsPerToken {
+		t.Fatalf("zero-prompt prefill WGTime = %v, want one-token clamp", z[0].Work.WGTime)
+	}
+}
+
+func TestDecodeKernelShape(t *testing.T) {
+	m := Small()
+	dec := m.DecodeKernels(8, 800)
+	if len(dec) != 2 {
+		t.Fatalf("decode step = %d kernels, want 2", len(dec))
+	}
+	for _, d := range dec {
+		if d.Phase != kernels.PhaseDecode {
+			t.Fatalf("kernel %s tagged %v, want decode", d.Name, d.Phase)
+		}
+		if d.Work.Workgroups != m.DecodeKnee*slotsPerCU {
+			t.Fatalf("kernel %s issues %d WGs, want knee %d x %d", d.Name, d.Work.Workgroups, m.DecodeKnee, slotsPerCU)
+		}
+	}
+	// The GEMV streams the full weight set regardless of batch; the KV scan
+	// traffic is the resident context.
+	if dec[0].Work.MemBytes != m.WeightBytes() {
+		t.Fatalf("decode GEMV streams %g bytes, want weights %g", dec[0].Work.MemBytes, m.WeightBytes())
+	}
+	if want := 800 * m.KVBytesPerToken(); dec[1].Work.MemBytes != want {
+		t.Fatalf("KV scan streams %g bytes, want %g", dec[1].Work.MemBytes, want)
+	}
+	// Aging sequences make the step slower (more KV traffic), which is the
+	// context-dependent decode cost the engine models.
+	older := m.DecodeKernels(8, 1600)
+	if older[1].Work.MemBytes <= dec[1].Work.MemBytes {
+		t.Fatal("KV scan traffic not increasing in resident context")
+	}
+	// Degenerate contexts clamp to one token per sequence.
+	if z := m.DecodeKernels(4, 0); z[1].Work.MemBytes != 4*m.KVBytesPerToken() {
+		t.Fatalf("clamped KV scan = %g bytes, want %g", z[1].Work.MemBytes, 4*m.KVBytesPerToken())
+	}
+}
+
+func TestAppendFormsDoNotAllocate(t *testing.T) {
+	m := Small()
+	buf := make([]kernels.Desc, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = m.AppendPrefill(buf[:0], 128)
+		buf = m.AppendDecodeStep(buf, 8, 1024)
+	})
+	if allocs > 0 {
+		t.Errorf("append into a pre-sized buffer allocated %.1f times per step, want 0", allocs)
+	}
+}
+
+func TestProxyModel(t *testing.T) {
+	m := Small()
+	pm := m.Proxy(128, 32)
+	if pm.Name != m.Name {
+		t.Fatalf("proxy name = %q, want %q", pm.Name, m.Name)
+	}
+	ks := pm.Kernels(8)
+	if len(ks) != 5 {
+		t.Fatalf("proxy pass = %d kernels, want prefill(3)+decode(2)", len(ks))
+	}
+	pre, dec := 0, 0
+	for _, d := range ks {
+		switch d.Phase {
+		case kernels.PhasePrefill:
+			pre++
+		case kernels.PhaseDecode:
+			dec++
+		default:
+			t.Fatalf("proxy kernel %s untagged", d.Name)
+		}
+	}
+	if pre != 3 || dec != 2 {
+		t.Fatalf("proxy phases = %d prefill / %d decode", pre, dec)
+	}
+}

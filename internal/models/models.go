@@ -75,6 +75,18 @@ func TableIII() []Model {
 	}
 }
 
+// Custom builds a model from an external kernel-sequence recipe. It is
+// the hook other workload families (internal/llm's representative-pass
+// proxies, harness-built synthetic workloads) use to enter the profiled
+// ecosystem — planner sweeps, right-size tables, replica specs — without
+// this package having to know their recipes.
+func Custom(name string, rightSize int, build func(batch int) []kernels.Desc) Model {
+	if build == nil {
+		panic("models: Custom requires a build func")
+	}
+	return Model{Name: name, PaperRightSize: rightSize, build: build}
+}
+
 // ByName returns the model with the given name.
 func ByName(name string) (Model, bool) {
 	for _, m := range All() {

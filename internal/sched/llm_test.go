@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"krisp/internal/llm"
+)
+
+// TestLLMSizingPerPhase: the planner must right-size the two phases far
+// apart — prefill at a large compute-bound partition, decode at a small
+// bandwidth-bound one — and the phase-blind shared size must be forced up
+// to the larger of the two.
+func TestLLMSizingPerPhase(t *testing.T) {
+	p := planner()
+	for _, m := range llm.All() {
+		sz := p.LLMSizing(m, 128, 32, 8)
+		if sz.PrefillCUs <= sz.DecodeCUs {
+			t.Fatalf("%s: prefill %d CUs not above decode %d CUs", m.Name, sz.PrefillCUs, sz.DecodeCUs)
+		}
+		if sz.PrefillCUs < 3*sz.DecodeCUs {
+			t.Fatalf("%s: phase sizes too close (%d vs %d) — right-sizing has nothing to win", m.Name, sz.PrefillCUs, sz.DecodeCUs)
+		}
+		if sz.SharedCUs != sz.PrefillCUs {
+			t.Fatalf("%s: shared size %d != max phase size %d", m.Name, sz.SharedCUs, sz.PrefillCUs)
+		}
+		if sz.PrefillLatency <= 0 || sz.DecodeStepLatency <= 0 {
+			t.Fatalf("%s: non-positive phase latencies %+v", m.Name, sz)
+		}
+		if sz.PrefillRPS <= 0 || sz.DecodeTokPS <= 0 {
+			t.Fatalf("%s: non-positive capacity estimates %+v", m.Name, sz)
+		}
+		// The cache must return the identical decision.
+		if again := p.LLMSizing(m, 128, 32, 8); again != sz {
+			t.Fatalf("%s: cached sizing diverged: %+v vs %+v", m.Name, again, sz)
+		}
+	}
+}
+
+// TestLLMSizingInstances checks the rate-to-instance arithmetic both ways
+// around the capacity boundary.
+func TestLLMSizingInstances(t *testing.T) {
+	p := planner()
+	sz := p.LLMSizing(llm.Small(), 128, 32, 8)
+
+	pre, dec := sz.Instances(0, 32)
+	if pre != 1 || dec != 1 {
+		t.Fatalf("zero rate sized %d/%d instances, want 1/1 warm", pre, dec)
+	}
+	// Exactly one prefill instance's worth of prompts needs one instance;
+	// a hair more needs two.
+	pre, _ = sz.Instances(sz.PrefillRPS, 32)
+	if pre != 1 {
+		t.Fatalf("rate == capacity sized %d prefill instances, want 1", pre)
+	}
+	pre, _ = sz.Instances(sz.PrefillRPS*1.01, 32)
+	if pre != 2 {
+		t.Fatalf("rate just over capacity sized %d prefill instances, want 2", pre)
+	}
+	// Decode tiers scale with the token rate: rate x avgOutput tokens/sec.
+	rate := 100.0
+	_, dec = sz.Instances(rate, 64)
+	if want := int(math.Ceil(rate * 64 / sz.DecodeTokPS)); dec != want {
+		t.Fatalf("decode tier = %d instances, want %d", dec, want)
+	}
+	// Longer outputs need more decode capacity at the same sequence rate.
+	_, dec64 := sz.Instances(2000, 64)
+	_, dec16 := sz.Instances(2000, 16)
+	if dec64 <= dec16 {
+		t.Fatalf("decode tier not growing with output length: %d (64 tok) vs %d (16 tok)", dec64, dec16)
+	}
+}
+
+// BenchmarkLLMRightSizing measures the cold-cache cost of a per-phase
+// right-sizing decision: two phase profiles plus the shared fallback.
+func BenchmarkLLMRightSizing(b *testing.B) {
+	m := llm.Small()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := planner()
+		sz := p.LLMSizing(m, 128, 32, 8)
+		if sz.PrefillCUs == 0 {
+			b.Fatal("right-sizing failed")
+		}
+	}
+}

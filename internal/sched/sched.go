@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"krisp/internal/llm"
 	"krisp/internal/models"
 	"krisp/internal/profile"
 	"krisp/internal/reconfig"
@@ -84,8 +85,10 @@ type Planner struct {
 	// SLOFactor is the tolerated latency multiple of the isolated
 	// full-GPU latency (the paper's SLO definition uses 2x).
 	SLOFactor float64
-	// sweeps caches per model/batch latency curves.
-	sweeps map[string][]profile.SweepPoint
+	// sweeps caches per model/batch latency curves; llmSizings caches
+	// per-phase LLM right-sizing decisions.
+	sweeps     map[string][]profile.SweepPoint
+	llmSizings map[string]LLMSizing
 }
 
 // NewPlanner creates a planner over the given profiling configuration.
@@ -193,6 +196,92 @@ func (p *Planner) Sizing(m models.Model, batch int, rate float64) Sizing {
 
 // TotalCUs returns the per-device CU count the planner sizes against.
 func (p *Planner) TotalCUs() int { return p.totalCUs }
+
+// LLMSizing is the per-phase right-sizing decision for one autoregressive
+// model: separate profiled partition sizes for the prefill and decode
+// phases, the single shared size a phase-blind system would have to
+// provision (the max of the two, since either phase violates its latency
+// knee below its own size), and the capacity estimates the autoscaler
+// turns rates into instance counts with.
+type LLMSizing struct {
+	// PrefillCUs / DecodeCUs are the profiled per-phase right-sizes.
+	PrefillCUs, DecodeCUs int
+	// SharedCUs is the phase-blind alternative: one size that keeps both
+	// phases at their knees.
+	SharedCUs int
+	// PrefillLatency is one prompt pass at PrefillCUs; DecodeStepLatency
+	// one token step of a full continuous batch at DecodeCUs.
+	PrefillLatency, DecodeStepLatency sim.Duration
+	// PrefillRPS is prompts/second of one prefill-sized instance;
+	// DecodeTokPS generated tokens/second of one decode-sized instance.
+	PrefillRPS, DecodeTokPS float64
+}
+
+// Instances converts a sequence rate into per-phase instance counts: how
+// many prefill-sized and decode-sized gpulets carry rate sequences/second
+// whose outputs average avgOutput tokens.
+func (s LLMSizing) Instances(rate float64, avgOutput int) (prefill, decode int) {
+	if avgOutput < 1 {
+		avgOutput = 1
+	}
+	prefill, decode = 1, 1
+	if rate > 0 && s.PrefillRPS > 0 {
+		prefill = int(math.Ceil(rate / s.PrefillRPS))
+	}
+	if rate > 0 && s.DecodeTokPS > 0 {
+		decode = int(math.Ceil(rate * float64(avgOutput) / s.DecodeTokPS))
+	}
+	if prefill < 1 {
+		prefill = 1
+	}
+	if decode < 1 {
+		decode = 1
+	}
+	return prefill, decode
+}
+
+// LLMSizing profiles the model's two phases at representative lengths —
+// a prefill over avgPrompt tokens and a decode step of maxSeqs sequences
+// at their mean resident context — and right-sizes each independently.
+// Results are cached per (model, lengths, maxSeqs).
+func (p *Planner) LLMSizing(m llm.Model, avgPrompt, avgOutput, maxSeqs int) LLMSizing {
+	if avgPrompt < 1 {
+		avgPrompt = 1
+	}
+	if avgOutput < 1 {
+		avgOutput = 1
+	}
+	if maxSeqs < 1 {
+		maxSeqs = 8
+	}
+	key := fmt.Sprintf("%s/%d/%d/%d", m.Name, avgPrompt, avgOutput, maxSeqs)
+	if s, ok := p.llmSizings[key]; ok {
+		return s
+	}
+	pre := m.PrefillKernels(avgPrompt)
+	dec := m.DecodeKernels(maxSeqs, maxSeqs*(avgPrompt+avgOutput/2))
+	sz := LLMSizing{
+		PrefillCUs: p.prof.ModelRightSize(pre),
+		DecodeCUs:  p.prof.ModelRightSize(dec),
+	}
+	sz.SharedCUs = sz.PrefillCUs
+	if sz.DecodeCUs > sz.SharedCUs {
+		sz.SharedCUs = sz.DecodeCUs
+	}
+	sz.PrefillLatency = p.prof.ModelLatency(pre, sz.PrefillCUs)
+	sz.DecodeStepLatency = p.prof.ModelLatency(dec, sz.DecodeCUs)
+	if sz.PrefillLatency > 0 {
+		sz.PrefillRPS = 1e6 / float64(sz.PrefillLatency)
+	}
+	if sz.DecodeStepLatency > 0 {
+		sz.DecodeTokPS = float64(maxSeqs) * 1e6 / float64(sz.DecodeStepLatency)
+	}
+	if p.llmSizings == nil {
+		p.llmSizings = make(map[string]LLMSizing)
+	}
+	p.llmSizings[key] = sz
+	return sz
+}
 
 // Plan sizes every demand and packs the gpulets first-fit-decreasing onto
 // at most maxGPUs devices. An infeasible demand set returns a partial plan

@@ -4,8 +4,10 @@ import (
 	"testing"
 
 	"krisp/internal/gpu"
+	"krisp/internal/llm"
 	"krisp/internal/models"
 	"krisp/internal/policies"
+	"krisp/internal/sim"
 )
 
 // BenchmarkServeOneBatchKRISP measures the end-to-end simulation cost per
@@ -55,3 +57,42 @@ func BenchmarkFourWorkerContention(b *testing.B) {
 }
 
 func gpuSpecDefault() gpu.DeviceSpec { return gpu.MI50Spec() }
+
+// BenchmarkLLMContinuousBatch measures the steady-state continuous-
+// batching token loop: a saturated 8-sequence batch advanced one virtual
+// millisecond per iteration, finished sequences replaced at the token
+// boundary they leave on. Steady state must not allocate — this is the
+// loop the CI serve-alloc guard watches.
+func BenchmarkLLMContinuousBatch(b *testing.B) {
+	n := NewNode(NodeConfig{GPUs: 1, Seed: 1})
+	rep := n.AddReplica(ReplicaSpec{GPU: 0, CUs: 60, LLM: &LLMSpec{Model: llm.Small(), MaxSeqs: 8}})
+	next := uint64(0)
+	now := sim.Time(0)
+	var buf []Completion
+	submit := func() {
+		next++
+		rep.SubmitSeq(now, next, 64, 256, false)
+	}
+	for i := 0; i < 8; i++ {
+		submit()
+	}
+	// Warm every pool and buffer to its high-water mark.
+	for i := 0; i < 100; i++ {
+		now += sim.Millisecond
+		n.RunUntil(now)
+		buf = rep.TakeCompletions(buf[:0])
+		for range buf {
+			submit()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += sim.Millisecond
+		n.RunUntil(now)
+		buf = rep.TakeCompletions(buf[:0])
+		for range buf {
+			submit()
+		}
+	}
+}

@@ -205,6 +205,11 @@ type mail struct {
 	seq     uint64 // posting order; tie-break among equal delivery times
 	rep     *Replica
 	id      uint64
+	// LLM request payload: prompt > 0 marks an autoregressive submit
+	// (SubmitSeq); prefilled marks a disaggregated KV handoff joining
+	// decode directly.
+	prompt, output int
+	prefilled      bool
 }
 
 // PostSubmit queues one request delivery for the replica, to be ingested
@@ -216,6 +221,20 @@ type mail struct {
 func (n *Node) PostSubmit(deliver, arrival sim.Time, r *Replica, id uint64) {
 	n.mailSeq++
 	n.mail = append(n.mail, mail{deliver: deliver, arrival: arrival, seq: n.mailSeq, rep: r, id: id})
+}
+
+// PostSubmitSeq queues one autoregressive request delivery (SubmitSeq)
+// with its prompt/output lengths; prefilled marks a disaggregated KV
+// handoff that joins decode directly. Ordering rules match PostSubmit.
+func (n *Node) PostSubmitSeq(deliver, arrival sim.Time, r *Replica, id uint64, prompt, output int, prefilled bool) {
+	if prompt < 1 {
+		prompt = 1
+	}
+	n.mailSeq++
+	n.mail = append(n.mail, mail{
+		deliver: deliver, arrival: arrival, seq: n.mailSeq, rep: r, id: id,
+		prompt: prompt, output: output, prefilled: prefilled,
+	})
 }
 
 // MailboxLen returns the number of posted, not-yet-ingested commands. A
@@ -236,7 +255,11 @@ func (n *Node) pump() {
 	for n.mailIdx < len(n.mail) && n.mail[n.mailIdx].deliver <= now {
 		m := n.mail[n.mailIdx]
 		n.mailIdx++
-		m.rep.SubmitID(m.arrival, m.id)
+		if m.prompt > 0 {
+			m.rep.SubmitSeq(m.arrival, m.id, m.prompt, m.output, m.prefilled)
+		} else {
+			m.rep.SubmitID(m.arrival, m.id)
+		}
 	}
 }
 
@@ -324,6 +347,10 @@ type ReplicaSpec struct {
 	// OverlapLimit bounds allocated-but-busy CUs per kernel (0 = KRISP-I
 	// isolation, alloc.NoOverlapLimit = KRISP-O).
 	OverlapLimit int
+	// LLM, when non-nil, turns the replica into a continuous-batching
+	// autoregressive engine (see LLMSpec). Batch is then overridden by
+	// LLM.MaxSeqs and requests arrive via SubmitSeq.
+	LLM *LLMSpec
 }
 
 // Completion is one finished request, reported in node-local virtual time.
@@ -344,6 +371,13 @@ type Completion struct {
 	// in flight: the work ran to the batch boundary, but the result must not
 	// count as a served request.
 	Cancelled bool
+	// LLM fields, zero for classic requests. FirstToken is when the first
+	// generated token after the last (re)admission left the batch; Tokens
+	// counts generated tokens; Prompt/Output echo the request's lengths so
+	// the routing layer can bill KV handoffs without a side table.
+	FirstToken     sim.Time
+	Prompt, Output int
+	Tokens         int
 }
 
 // ReplicaStats is a point-in-time view of a replica's load.
@@ -358,6 +392,10 @@ type ReplicaStats struct {
 	// Cancelled counts requests revoked by Cancel (dequeued or suppressed
 	// at the batch boundary).
 	Cancelled int
+	// Preempted counts LLM sequences evicted from the continuous batch to
+	// reclaim KV-cache space (each later resumes from its last committed
+	// token).
+	Preempted int
 }
 
 // Outstanding is the replica-side count of accepted-but-unfinished
@@ -405,12 +443,32 @@ type Replica struct {
 	curStart     sim.Time
 	curKernStart sim.Time
 	curKernEnd   sim.Time
+
+	// llm, when non-nil, replaces the fixed-batch lifecycle with the
+	// continuous-batching token loop (see llm.go). The classic queue holds
+	// waiting sequences; busy covers the in-flight token step.
+	llm *llmEngine
 }
 
 // AddReplica creates a replica on the node. The spec's GPU must exist.
 func (n *Node) AddReplica(spec ReplicaSpec) *Replica {
 	if spec.GPU < 0 || spec.GPU >= len(n.gpus) {
 		panic("server: replica GPU out of range")
+	}
+	if spec.LLM != nil {
+		// Copy the LLM spec so defaulting never mutates the caller's.
+		l := *spec.LLM
+		if l.MaxSeqs < 1 {
+			l.MaxSeqs = 8
+		}
+		if l.StepOverheadUs <= 0 {
+			l.StepOverheadUs = 20
+		}
+		if l.RetryUs <= 0 {
+			l.RetryUs = 50
+		}
+		spec.LLM = &l
+		spec.Batch = l.MaxSeqs
 	}
 	if spec.Batch < 1 {
 		spec.Batch = models.CalibrationBatch
@@ -429,6 +487,19 @@ func (n *Node) AddReplica(spec ReplicaSpec) *Replica {
 	seed := n.cfg.Seed + n.replicaSeq*7919 + 1
 	n.replicaSeq++
 	sizer := core.NewFixedRightSizer(spec.CUs, total)
+	if l := spec.LLM; l != nil && (l.PrefillCUs > 0 || l.DecodeCUs > 0) {
+		// Kernel-wise per-phase right-sizing: prefill kernels get one
+		// partition size, decode kernels another, untagged kernels the
+		// sizer's fallback.
+		pf, dc := l.PrefillCUs, l.DecodeCUs
+		if pf <= 0 {
+			pf = spec.CUs
+		}
+		if dc <= 0 {
+			dc = spec.CUs
+		}
+		sizer = core.NewPhaseRightSizer(pf, dc, total)
+	}
 
 	var r *Replica
 	if free := n.replicaFree; spec.GPU < len(free) && len(free[spec.GPU]) > 0 {
@@ -452,6 +523,17 @@ func (n *Node) AddReplica(spec ReplicaSpec) *Replica {
 			rt:   core.NewRuntime(n.eng, stack.cp, q, sizer, rtCfg),
 			rng:  rand.New(rand.NewSource(seed)),
 		}
+	}
+	if spec.LLM != nil {
+		if r.llm == nil {
+			r.llm = &llmEngine{}
+			r.llm.kickFn = r.llmKick
+			r.llm.stepFn = r.llmStepDone
+			r.llm.retryFn = r.llmRetry
+		}
+		r.llm.reset(*spec.LLM)
+	} else {
+		r.llm = nil
 	}
 	n.replicas = append(n.replicas, r)
 	return r
@@ -500,6 +582,12 @@ type pending struct {
 	enq       sim.Time
 	id        uint64
 	cancelled bool
+	// LLM request payload, zero for classic requests. done carries the
+	// committed token count across a preemption so a resumed sequence
+	// re-prefills its context instead of starting over; prefilled marks a
+	// disaggregated handoff that skips the local prefill pass.
+	prompt, output, done int
+	prefilled            bool
 }
 
 // Submit enqueues one untracked request that arrived at the given
@@ -515,6 +603,11 @@ func (r *Replica) Submit(arrival sim.Time) bool {
 // the logical request (hedged sends create two copies with the same id on
 // different replicas).
 func (r *Replica) SubmitID(arrival sim.Time, id uint64) bool {
+	if r.llm != nil {
+		// An untracked/classic submit on an LLM replica becomes a minimal
+		// one-token sequence so the token loop stays the only lifecycle.
+		return r.SubmitSeq(arrival, id, 1, 1, false)
+	}
 	if r.draining || r.killed {
 		return false
 	}
@@ -569,6 +662,17 @@ func (r *Replica) Cancel(id uint64) CancelOutcome {
 			return CancelInFlight
 		}
 	}
+	if r.llm != nil {
+		// A resident LLM sequence retires at the next token boundary, the
+		// autoregressive analog of the batch-boundary abort.
+		for i := range r.llm.active {
+			if r.llm.active[i].id == id && !r.llm.active[i].cancelled {
+				r.llm.active[i].cancelled = true
+				r.stats.Cancelled++
+				return CancelInFlight
+			}
+		}
+	}
 	return CancelNotFound
 }
 
@@ -580,7 +684,8 @@ func (r *Replica) Draining() bool { return r.draining }
 
 // Drained reports whether a draining (or killed) replica has no work left.
 func (r *Replica) Drained() bool {
-	return (r.draining || r.killed) && !r.busy && len(r.queue) == 0
+	return (r.draining || r.killed) && !r.busy && len(r.queue) == 0 &&
+		(r.llm == nil || len(r.llm.active) == 0)
 }
 
 // Kill drops the replica immediately — queued and in-flight requests are
@@ -594,6 +699,13 @@ func (r *Replica) Kill() int {
 	r.killed = true
 	r.draining = true
 	lost := len(r.queue) + len(r.inflight)
+	if r.llm != nil {
+		lost += len(r.llm.active)
+		for i := range r.llm.active {
+			r.llmFreeKV(r.llm.active[i].kv)
+		}
+		r.llm.active = r.llm.active[:0]
+	}
 	r.stats.Dropped += lost
 	r.queue = r.queue[:0]
 	r.inflight = r.inflight[:0]
@@ -620,6 +732,10 @@ func (r *Replica) TakeCompletions(buf []Completion) []Completion {
 
 // maybeStart launches the next dynamic batch when the replica is idle.
 func (r *Replica) maybeStart() {
+	if r.llm != nil {
+		r.llmMaybeStep()
+		return
+	}
 	if r.busy || r.killed || len(r.queue) == 0 {
 		return
 	}
